@@ -1,0 +1,2 @@
+//! Benchmark support crate: the actual benchmarks live in `benches/`, one
+//! per paper table/figure (see `Cargo.toml` targets).

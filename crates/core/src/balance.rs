@@ -1,0 +1,401 @@
+//! Multi-constraint balance bookkeeping and the explicit k-way balancing
+//! pass.
+//!
+//! Balance is tracked with exact integer arithmetic: constraint `i` of part
+//! `p` is within tolerance when its weight does not exceed
+//! `max((1+tol)·avg_i, avg_i + maxvwgt_i)` — the second term is the
+//! *granularity slack* that keeps coarse graphs (whose vertices are heavy
+//! aggregates) from deadlocking refinement; it vanishes as uncoarsening
+//! shrinks the largest vertex, so the finest level enforces the user's
+//! tolerance, exactly as the multilevel paradigm intends.
+
+use mcgp_graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Flattened `nparts × ncon` subdomain weights for an assignment.
+pub fn part_weights(graph: &Graph, assignment: &[u32], nparts: usize) -> Vec<i64> {
+    let ncon = graph.ncon();
+    let mut pw = vec![0i64; nparts * ncon];
+    for v in 0..graph.nvtxs() {
+        let p = assignment[v] as usize;
+        let row = &mut pw[p * ncon..(p + 1) * ncon];
+        for (i, &w) in graph.vwgt(v).iter().enumerate() {
+            row[i] += w;
+        }
+    }
+    pw
+}
+
+/// Per-part, per-constraint balance limits for a k-way partition.
+#[derive(Clone, Debug)]
+pub struct BalanceModel {
+    ncon: usize,
+    nparts: usize,
+    tot: Vec<i64>,
+    /// `avg[i] = tot[i] / nparts` as a float (0 for empty constraints).
+    avg: Vec<f64>,
+    /// Per-constraint cap on any part's weight.
+    limits: Vec<i64>,
+}
+
+impl BalanceModel {
+    /// Builds the model for `graph` split `nparts` ways at tolerance `tol`.
+    pub fn new(graph: &Graph, nparts: usize, tol: f64) -> Self {
+        let ncon = graph.ncon();
+        let tot = graph.total_vwgt();
+        let mut maxvw = vec![0i64; ncon];
+        for v in 0..graph.nvtxs() {
+            for (i, &w) in graph.vwgt(v).iter().enumerate() {
+                maxvw[i] = maxvw[i].max(w);
+            }
+        }
+        Self::from_parts(ncon, nparts, tot, &maxvw, tol)
+    }
+
+    /// Builds the model from precomputed totals and per-constraint maximum
+    /// vertex weights (used when the caller already has them).
+    pub fn from_parts(ncon: usize, nparts: usize, tot: Vec<i64>, maxvw: &[i64], tol: f64) -> Self {
+        assert!(nparts >= 1);
+        assert_eq!(tot.len(), ncon);
+        assert_eq!(maxvw.len(), ncon);
+        let avg: Vec<f64> = tot.iter().map(|&t| t as f64 / nparts as f64).collect();
+        let limits: Vec<i64> = (0..ncon)
+            .map(|i| {
+                let soft = (1.0 + tol) * avg[i];
+                let slack = avg[i] + maxvw[i] as f64;
+                (soft.max(slack).ceil() as i64).min(tot[i])
+            })
+            .collect();
+        BalanceModel {
+            ncon,
+            nparts,
+            tot,
+            avg,
+            limits,
+        }
+    }
+
+    /// Number of constraints.
+    #[inline]
+    pub fn ncon(&self) -> usize {
+        self.ncon
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn nparts(&self) -> usize {
+        self.nparts
+    }
+
+    /// Per-constraint totals.
+    #[inline]
+    pub fn totals(&self) -> &[i64] {
+        &self.tot
+    }
+
+    /// Per-constraint caps applied to every part.
+    #[inline]
+    pub fn limits(&self) -> &[i64] {
+        &self.limits
+    }
+
+    /// True if adding weight vector `vw` to part weights `row` stays within
+    /// every constraint's cap.
+    #[inline]
+    pub fn fits(&self, row: &[i64], vw: &[i64]) -> bool {
+        (0..self.ncon).all(|i| row[i] + vw[i] <= self.limits[i])
+    }
+
+    /// True when every part is within every constraint's cap.
+    pub fn is_balanced(&self, pw: &[i64]) -> bool {
+        debug_assert_eq!(pw.len(), self.nparts * self.ncon);
+        pw.chunks_exact(self.ncon)
+            .all(|row| (0..self.ncon).all(|i| row[i] <= self.limits[i]))
+    }
+
+    /// The imbalance of the worst (part, constraint) pair:
+    /// `max_{p,i} pw[p][i] / avg[i]` (1.0 = perfect).
+    pub fn max_load(&self, pw: &[i64]) -> f64 {
+        let mut worst: f64 = 1.0;
+        for row in pw.chunks_exact(self.ncon) {
+            for i in 0..self.ncon {
+                if self.avg[i] > 0.0 {
+                    worst = worst.max(row[i] as f64 / self.avg[i]);
+                }
+            }
+        }
+        worst
+    }
+
+    /// The `(part, constraint)` with the largest relative overload above the
+    /// cap, if any part exceeds its cap.
+    pub fn worst_violation(&self, pw: &[i64]) -> Option<(usize, usize)> {
+        let mut worst: Option<(usize, usize, f64)> = None;
+        for (p, row) in pw.chunks_exact(self.ncon).enumerate() {
+            for i in 0..self.ncon {
+                if row[i] > self.limits[i] && self.avg[i] > 0.0 {
+                    let over = row[i] as f64 / self.avg[i];
+                    if worst.map_or(true, |(_, _, o)| over > o) {
+                        worst = Some((p, i, over));
+                    }
+                }
+            }
+        }
+        worst.map(|(p, i, _)| (p, i))
+    }
+}
+
+/// Applies one vertex move to the flattened part-weight matrix.
+#[inline]
+pub fn apply_move(pw: &mut [i64], ncon: usize, vw: &[i64], from: usize, to: usize) {
+    for i in 0..ncon {
+        pw[from * ncon + i] -= vw[i];
+        pw[to * ncon + i] += vw[i];
+    }
+}
+
+/// Greedy multi-constraint k-way balancing: while some part exceeds a cap,
+/// move the least-damaging vertex that carries the violated weight out of
+/// the worst-violated part into a part with room.
+///
+/// Edge-cut-increasing moves are permitted — restoring feasibility takes
+/// priority, exactly as in the serial algorithm. Returns `true` when the
+/// partition is within all caps on exit.
+pub fn rebalance(
+    graph: &Graph,
+    assignment: &mut [u32],
+    pw: &mut [i64],
+    model: &BalanceModel,
+    rng: &mut impl Rng,
+) -> bool {
+    let ncon = graph.ncon();
+    let nparts = model.nparts();
+    // Enough rounds to drain realistic violations; each round moves one
+    // vertex, so cap generously but finitely.
+    let max_moves = 8 * graph.nvtxs().max(64);
+    let mut conn: Vec<i64> = vec![0; nparts];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut order: Vec<u32> = (0..graph.nvtxs() as u32).collect();
+    order.shuffle(rng);
+
+    // Normalised excess of one part row above its caps.
+    let excess = |row: &[i64]| -> f64 {
+        let mut e = 0.0;
+        for i in 0..ncon {
+            let over = row[i] - model.limits()[i];
+            if over > 0 && model.totals()[i] > 0 {
+                e += over as f64 * nparts as f64 / model.totals()[i] as f64;
+            }
+        }
+        e
+    };
+
+    for _ in 0..max_moves {
+        let Some((vp, vc)) = model.worst_violation(pw) else {
+            return true;
+        };
+        // Tier 1: the best-gain move into a destination that fully fits.
+        // Tier 2 (fallback): the move that most reduces total normalised
+        // excess — it may overload the destination slightly, but total
+        // excess strictly decreases, so the loop always terminates.
+        let mut best_fit: Option<(i64, usize, usize)> = None; // (gain, v, dest)
+        let mut best_relax: Option<(f64, i64, usize, usize)> = None; // (delta, gain, v, dest)
+        for &v in &order {
+            let v = v as usize;
+            if assignment[v] as usize != vp {
+                continue;
+            }
+            let vw = graph.vwgt(v);
+            if vw[vc] == 0 {
+                continue;
+            }
+            // Connectivity of v to each part.
+            touched.clear();
+            let mut internal = 0i64;
+            for (u, w) in graph.edges(v) {
+                let pu = assignment[u as usize] as usize;
+                if pu == vp {
+                    internal += w;
+                } else {
+                    if conn[pu] == 0 {
+                        touched.push(pu);
+                    }
+                    conn[pu] += w;
+                }
+            }
+            let consider = |b: usize,
+                            best_fit: &mut Option<(i64, usize, usize)>,
+                            best_relax: &mut Option<(f64, i64, usize, usize)>,
+                            conn: &[i64]| {
+                let gain = conn[b] - internal;
+                let dest_row = &pw[b * ncon..(b + 1) * ncon];
+                if model.fits(dest_row, vw) {
+                    if best_fit.map_or(true, |(g, _, _)| gain > g) {
+                        *best_fit = Some((gain, v, b));
+                    }
+                } else {
+                    let src_row = &pw[vp * ncon..(vp + 1) * ncon];
+                    let mut src_after = src_row.to_vec();
+                    let mut dest_after = dest_row.to_vec();
+                    for i in 0..ncon {
+                        src_after[i] -= vw[i];
+                        dest_after[i] += vw[i];
+                    }
+                    let delta = excess(&src_after) + excess(&dest_after)
+                        - excess(src_row)
+                        - excess(dest_row);
+                    if delta < -1e-12
+                        && best_relax.map_or(true, |(d, g, _, _)| {
+                            delta < d - 1e-12 || ((delta - d).abs() <= 1e-12 && gain > g)
+                        })
+                    {
+                        *best_relax = Some((delta, gain, v, b));
+                    }
+                }
+            };
+            // Prefer parts v already touches; also scan all parts while no
+            // fitting candidate has been found.
+            for &b in &touched {
+                consider(b, &mut best_fit, &mut best_relax, &conn);
+            }
+            if best_fit.is_none() {
+                for b in 0..nparts {
+                    if b != vp && !touched.contains(&b) {
+                        consider(b, &mut best_fit, &mut best_relax, &conn);
+                    }
+                }
+            }
+            for &b in &touched {
+                conn[b] = 0;
+            }
+            // A zero-damage boundary move is as good as it gets; stop early.
+            if matches!(best_fit, Some((g, _, _)) if g >= 0) {
+                break;
+            }
+        }
+        let chosen = match (best_fit, best_relax) {
+            (Some((_, v, b)), _) => Some((v, b)),
+            (None, Some((_, _, v, b))) => Some((v, b)),
+            (None, None) => None,
+        };
+        match chosen {
+            Some((v, dest)) => {
+                let from = assignment[v] as usize;
+                apply_move(pw, ncon, graph.vwgt(v), from, dest);
+                assignment[v] = dest as u32;
+            }
+            None => return false, // no move reduces the violation: give up
+        }
+    }
+    model.worst_violation(pw).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcgp_graph::generators::grid_2d;
+    use mcgp_graph::synthetic;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn part_weights_accumulate() {
+        let g = synthetic::type1(&grid_2d(8, 8), 2, 1);
+        let assignment = vec![0u32; 64];
+        let pw = part_weights(&g, &assignment, 2);
+        assert_eq!(&pw[0..2], g.total_vwgt().as_slice());
+        assert_eq!(&pw[2..4], &[0, 0]);
+    }
+
+    #[test]
+    fn limits_respect_tolerance_and_granularity() {
+        // tot = 100 over 4 parts, avg 25, tol 4% -> soft 26; maxvw 10 ->
+        // slack 35. Limit is the larger.
+        let m = BalanceModel::from_parts(1, 4, vec![100], &[10], 0.04);
+        assert_eq!(m.limits(), &[35]);
+        // With a tiny max vertex the soft limit dominates.
+        let m = BalanceModel::from_parts(1, 4, vec![100], &[1], 0.04);
+        assert_eq!(m.limits(), &[26]);
+    }
+
+    #[test]
+    fn limits_never_exceed_total() {
+        let m = BalanceModel::from_parts(1, 2, vec![10], &[100], 0.05);
+        assert_eq!(m.limits(), &[10]);
+    }
+
+    #[test]
+    fn fits_and_is_balanced() {
+        let m = BalanceModel::from_parts(2, 2, vec![10, 10], &[1, 1], 0.0);
+        // limits: max(5, 6) = 6 for each constraint.
+        assert!(m.fits(&[5, 5], &[1, 1]));
+        assert!(!m.fits(&[6, 5], &[1, 1]));
+        assert!(m.is_balanced(&[6, 6, 4, 4]));
+        assert!(!m.is_balanced(&[7, 5, 3, 5]));
+    }
+
+    #[test]
+    fn worst_violation_finds_largest_overload() {
+        let m = BalanceModel::from_parts(2, 2, vec![10, 100], &[1, 1], 0.0);
+        // limits ~ [6, 51]; part 0 violates both but constraint 1 overload
+        // (90/50 = 1.8) exceeds constraint 0 (7/5 = 1.4).
+        assert_eq!(m.worst_violation(&[7, 90, 3, 10]), Some((0, 1)));
+        assert_eq!(m.worst_violation(&[5, 50, 5, 50]), None);
+    }
+
+    #[test]
+    fn max_load_ignores_empty_constraints() {
+        let m = BalanceModel::from_parts(2, 2, vec![10, 0], &[1, 0], 0.0);
+        assert_eq!(m.max_load(&[5, 0, 5, 0]), 1.0);
+        assert_eq!(m.max_load(&[10, 0, 0, 0]), 2.0);
+    }
+
+    #[test]
+    fn apply_move_shifts_weight() {
+        let mut pw = vec![5, 5, 0, 0];
+        apply_move(&mut pw, 2, &[2, 3], 0, 1);
+        assert_eq!(pw, vec![3, 2, 2, 3]);
+    }
+
+    #[test]
+    fn rebalance_fixes_a_skewed_grid() {
+        let g = grid_2d(8, 8);
+        // Everything in part 0 of 2: grossly unbalanced.
+        let mut assignment = vec![0u32; 64];
+        let model = BalanceModel::new(&g, 2, 0.05);
+        let mut pw = part_weights(&g, &assignment, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(rebalance(&g, &mut assignment, &mut pw, &model, &mut rng));
+        assert!(model.is_balanced(&pw));
+        assert_eq!(
+            pw,
+            part_weights(&g, &assignment, 2),
+            "pw bookkeeping drifted"
+        );
+    }
+
+    #[test]
+    fn rebalance_multi_constraint() {
+        let g = synthetic::type2(&grid_2d(12, 12), 3, 5);
+        let mut assignment: Vec<u32> = (0..144u32).map(|v| if v < 40 { 1 } else { 0 }).collect();
+        let model = BalanceModel::new(&g, 4, 0.05);
+        let mut pw = part_weights(&g, &assignment, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ok = rebalance(&g, &mut assignment, &mut pw, &model, &mut rng);
+        assert!(ok, "rebalance failed to reach feasibility");
+        assert!(model.is_balanced(&pw));
+    }
+
+    #[test]
+    fn rebalance_noop_when_already_balanced() {
+        let g = grid_2d(8, 8);
+        let mut assignment: Vec<u32> = (0..64u32).map(|v| (v % 8 / 4) as u32).collect();
+        let model = BalanceModel::new(&g, 2, 0.05);
+        let mut pw = part_weights(&g, &assignment, 2);
+        let before = assignment.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(rebalance(&g, &mut assignment, &mut pw, &model, &mut rng));
+        assert_eq!(before, assignment);
+    }
+}

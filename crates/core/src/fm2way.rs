@@ -1,0 +1,478 @@
+//! Multi-constraint 2-way FM refinement — the SC'98 generalisation of
+//! Fiduccia–Mattheyses used both to polish initial bisections and during the
+//! uncoarsening phase of recursive bisection.
+//!
+//! The classic single-constraint FM keeps one gain queue per side; the
+//! multi-constraint variant keeps **2·m queues** (side × constraint), filing
+//! each vertex under its *dominant* constraint (the largest component of its
+//! normalised weight vector). Each step picks the queue whose move most
+//! helps the currently worst-balanced constraint, tentatively applies the
+//! best-gain move from it, and at the end of a pass rolls back to the best
+//! prefix — where "best" prefers feasible states, then lower cut, then lower
+//! load. Hill-climbing through negative-gain moves (bounded by a window) is
+//! what lets FM escape local minima.
+
+use crate::config::PartitionConfig;
+use crate::pqueue::IndexedMaxHeap;
+use mcgp_graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Balance bookkeeping for a (possibly uneven) bisection with target
+/// fractions `(f0, f1)`, `f0 + f1 = 1`.
+#[derive(Clone, Debug)]
+pub struct TwoWayBalance {
+    ncon: usize,
+    tot: Vec<i64>,
+    /// `caps[side * ncon + i]`: hard cap on side weight.
+    caps: Vec<i64>,
+    /// `target[side * ncon + i]`: ideal side weight as a float.
+    target: Vec<f64>,
+}
+
+impl TwoWayBalance {
+    /// Builds the model from the graph being bisected.
+    pub fn new(graph: &Graph, fractions: (f64, f64), tol: f64) -> Self {
+        let ncon = graph.ncon();
+        let tot = graph.total_vwgt();
+        let mut maxvw = vec![0i64; ncon];
+        for v in 0..graph.nvtxs() {
+            for (i, &w) in graph.vwgt(v).iter().enumerate() {
+                maxvw[i] = maxvw[i].max(w);
+            }
+        }
+        let mut caps = vec![0i64; 2 * ncon];
+        let mut target = vec![0f64; 2 * ncon];
+        for (s, f) in [(0usize, fractions.0), (1usize, fractions.1)] {
+            for i in 0..ncon {
+                let ideal = f * tot[i] as f64;
+                target[s * ncon + i] = ideal;
+                let soft = (1.0 + tol) * ideal;
+                let slack = ideal + maxvw[i] as f64;
+                caps[s * ncon + i] = (soft.max(slack).ceil() as i64).min(tot[i]);
+            }
+        }
+        TwoWayBalance {
+            ncon,
+            tot,
+            caps,
+            target,
+        }
+    }
+
+    /// Number of constraints.
+    #[inline]
+    pub fn ncon(&self) -> usize {
+        self.ncon
+    }
+
+    /// Flattened `2 × ncon` per-side caps (side 0 first).
+    #[inline]
+    pub fn caps(&self) -> &[i64] {
+        &self.caps
+    }
+
+    /// Side weights (`2 * ncon` flattened) for an assignment.
+    pub fn side_weights(&self, graph: &Graph, side: &[u32]) -> Vec<i64> {
+        let mut sw = vec![0i64; 2 * self.ncon];
+        for v in 0..graph.nvtxs() {
+            let s = side[v] as usize;
+            for (i, &w) in graph.vwgt(v).iter().enumerate() {
+                sw[s * self.ncon + i] += w;
+            }
+        }
+        sw
+    }
+
+    /// True when both sides respect every constraint's cap.
+    pub fn is_feasible(&self, sw: &[i64]) -> bool {
+        sw.iter().zip(self.caps.iter()).all(|(w, c)| w <= c)
+    }
+
+    /// Worst relative load `sw / target` over sides and constraints.
+    pub fn load(&self, sw: &[i64]) -> f64 {
+        let mut worst: f64 = 1.0;
+        for (idx, &w) in sw.iter().enumerate() {
+            if self.target[idx] > 0.0 {
+                worst = worst.max(w as f64 / self.target[idx]);
+            }
+        }
+        worst
+    }
+
+    /// The `(side, constraint)` with the worst relative load.
+    fn worst_loaded(&self, sw: &[i64]) -> (usize, usize) {
+        let mut best = (0usize, 0usize);
+        let mut worst = f64::NEG_INFINITY;
+        for s in 0..2 {
+            for i in 0..self.ncon {
+                let idx = s * self.ncon + i;
+                if self.target[idx] > 0.0 {
+                    let l = sw[idx] as f64 / self.target[idx];
+                    if l > worst {
+                        worst = l;
+                        best = (s, i);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// True if moving weight `vw` from `from` to `1-from` keeps the
+    /// destination under its caps.
+    fn move_fits(&self, sw: &[i64], vw: &[i64], from: usize) -> bool {
+        let to = 1 - from;
+        (0..self.ncon).all(|i| sw[to * self.ncon + i] + vw[i] <= self.caps[to * self.ncon + i])
+    }
+
+    /// Dominant constraint of a weight vector under this model's totals.
+    fn dominant(&self, vw: &[i64]) -> usize {
+        let mut best = 0usize;
+        let mut bestval = f64::NEG_INFINITY;
+        for i in 0..self.ncon {
+            if self.tot[i] > 0 {
+                let x = vw[i] as f64 / self.tot[i] as f64;
+                if x > bestval {
+                    bestval = x;
+                    best = i;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Result statistics of an FM refinement call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FmStats {
+    /// Edge-cut after refinement.
+    pub cut: i64,
+    /// Total vertices moved (net, after rollbacks).
+    pub moves: usize,
+    /// Number of passes executed.
+    pub passes: usize,
+}
+
+/// Runs multi-constraint 2-way FM on `side` (entries 0/1), in place.
+///
+/// `fractions` are the target weight fractions of sides 0 and 1 (recursive
+/// bisection uses uneven fractions for odd part counts). Returns the final
+/// cut and move statistics.
+///
+/// ```
+/// use mcgp_core::{fm2way::fm_refine_bisection, PartitionConfig};
+/// use mcgp_graph::generators::grid_2d;
+/// use rand::SeedableRng as _;
+/// let g = grid_2d(8, 8);
+/// // A deliberately bad alternating split...
+/// let mut side: Vec<u32> = (0..64).map(|v| (v % 2) as u32).collect();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let stats = fm_refine_bisection(&g, &mut side, (0.5, 0.5), &PartitionConfig::default(), &mut rng);
+/// // ...is repaired to something near the optimal 8-edge cut.
+/// assert!(stats.cut <= 16);
+/// ```
+pub fn fm_refine_bisection(
+    graph: &Graph,
+    side: &mut [u32],
+    fractions: (f64, f64),
+    config: &PartitionConfig,
+    rng: &mut impl Rng,
+) -> FmStats {
+    let n = graph.nvtxs();
+    let ncon = graph.ncon();
+    let bal = TwoWayBalance::new(graph, fractions, config.imbalance_tol);
+    let mut sw = bal.side_weights(graph, side);
+    let mut cut = cut_of(graph, side);
+    let mut gains: Vec<i64> = vec![0; n];
+    let mut locked: Vec<bool> = vec![false; n];
+    let mut queues: Vec<IndexedMaxHeap> = (0..2 * ncon).map(|_| IndexedMaxHeap::new(n)).collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut total_moves = 0usize;
+    let mut passes = 0usize;
+
+    for _pass in 0..config.fm_passes {
+        passes += 1;
+        // (Re)compute gains and fill queues in random order.
+        order.shuffle(rng);
+        for q in queues.iter_mut() {
+            q.clear();
+        }
+        for v in 0..n {
+            locked[v] = false;
+            let sv = side[v];
+            let mut g = 0i64;
+            for (u, w) in graph.edges(v) {
+                if side[u as usize] == sv {
+                    g -= w;
+                } else {
+                    g += w;
+                }
+            }
+            gains[v] = g;
+        }
+        for &v in &order {
+            let v = v as usize;
+            let q = side[v] as usize * ncon + bal.dominant(graph.vwgt(v));
+            queues[q].insert(v as u32, gains[v]);
+        }
+
+        // Tentative move sequence with best-prefix rollback.
+        let mut seq: Vec<u32> = Vec::new();
+        let mut best_prefix = 0usize;
+        let mut best_cut = cut;
+        let mut best_feasible = bal.is_feasible(&sw);
+        let mut best_load = bal.load(&sw);
+        let mut since_best = 0usize;
+
+        loop {
+            let Some(v) = select_move(&bal, &sw, &mut queues, graph, ncon) else {
+                break;
+            };
+            let from = side[v as usize] as usize;
+            let vw = graph.vwgt(v as usize);
+            // Apply tentatively.
+            for i in 0..ncon {
+                sw[from * ncon + i] -= vw[i];
+                sw[(1 - from) * ncon + i] += vw[i];
+            }
+            cut -= gains[v as usize];
+            side[v as usize] = 1 - from as u32;
+            locked[v as usize] = true;
+            seq.push(v);
+            // Neighbour gain updates.
+            for (u, w) in graph.edges(v as usize) {
+                let u = u as usize;
+                if locked[u] {
+                    continue;
+                }
+                // v flipped sides: the u-v contribution to gain(u) flips.
+                let delta = if side[u] == side[v as usize] {
+                    -2 * w
+                } else {
+                    2 * w
+                };
+                gains[u] += delta;
+                let q = side[u] as usize * ncon + bal.dominant(graph.vwgt(u));
+                if queues[q].contains(u as u32) {
+                    queues[q].update(u as u32, gains[u]);
+                }
+            }
+            // Track the best prefix: feasibility first, then cut, then load.
+            let feasible = bal.is_feasible(&sw);
+            let load = bal.load(&sw);
+            let better = match (feasible, best_feasible) {
+                (true, false) => true,
+                (false, true) => false,
+                (true, true) => cut < best_cut || (cut == best_cut && load < best_load),
+                (false, false) => {
+                    load < best_load - 1e-12
+                        || ((load - best_load).abs() <= 1e-12 && cut < best_cut)
+                }
+            };
+            if better {
+                best_prefix = seq.len();
+                best_cut = cut;
+                best_feasible = feasible;
+                best_load = load;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best > config.fm_window {
+                    break;
+                }
+            }
+        }
+
+        // Roll back past the best prefix.
+        for &v in seq[best_prefix..].iter().rev() {
+            let cur = side[v as usize] as usize;
+            let vw = graph.vwgt(v as usize);
+            for i in 0..ncon {
+                sw[cur * ncon + i] -= vw[i];
+                sw[(1 - cur) * ncon + i] += vw[i];
+            }
+            side[v as usize] = 1 - cur as u32;
+        }
+        cut = best_cut;
+        total_moves += best_prefix;
+        debug_assert_eq!(cut, cut_of(graph, side), "cut bookkeeping drifted");
+
+        if best_prefix == 0 {
+            break; // local minimum
+        }
+    }
+    FmStats {
+        cut,
+        moves: total_moves,
+        passes,
+    }
+}
+
+/// Picks the next tentative move: prefer the queue of the worst-loaded
+/// (side, constraint); fall back to any queue of that side, then the other
+/// side. Vertices whose move would overflow the destination are discarded
+/// for the rest of the pass (standard FM semantics).
+fn select_move(
+    bal: &TwoWayBalance,
+    sw: &[i64],
+    queues: &mut [IndexedMaxHeap],
+    graph: &Graph,
+    ncon: usize,
+) -> Option<u32> {
+    let (ws, wc) = bal.worst_loaded(sw);
+    // Queue preference order: worst (side, constraint), then the rest of
+    // that side by top gain, then the other side by top gain.
+    let mut candidates: Vec<usize> = Vec::with_capacity(2 * ncon);
+    candidates.push(ws * ncon + wc);
+    for c in 0..ncon {
+        if c != wc {
+            candidates.push(ws * ncon + c);
+        }
+    }
+    for c in 0..ncon {
+        candidates.push((1 - ws) * ncon + c);
+    }
+    for q in candidates {
+        let side_of_q = q / ncon;
+        loop {
+            let Some((v, _)) = queues[q].peek() else {
+                break;
+            };
+            queues[q].pop();
+            if bal.move_fits(sw, graph.vwgt(v as usize), side_of_q) {
+                return Some(v);
+            }
+            // Discarded: stays out of every queue for this pass.
+        }
+    }
+    None
+}
+
+/// Edge-cut of a two-way assignment.
+pub fn cut_of(graph: &Graph, side: &[u32]) -> i64 {
+    let mut cut = 0i64;
+    for v in 0..graph.nvtxs() {
+        for (u, w) in graph.edges(v) {
+            if side[u as usize] != side[v] {
+                cut += w;
+            }
+        }
+    }
+    cut / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcgp_graph::generators::grid_2d;
+    use mcgp_graph::synthetic;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn random_side(n: usize, seed: u64) -> Vec<u32> {
+        let mut r = rng(seed);
+        (0..n).map(|_| r.gen_range(0..2u32)).collect()
+    }
+
+    #[test]
+    fn improves_random_bisection_of_grid() {
+        let g = grid_2d(16, 16);
+        let mut side = random_side(256, 1);
+        let before = cut_of(&g, &side);
+        let cfg = PartitionConfig::default();
+        let stats = fm_refine_bisection(&g, &mut side, (0.5, 0.5), &cfg, &mut rng(2));
+        assert_eq!(stats.cut, cut_of(&g, &side));
+        assert!(
+            stats.cut < before,
+            "no improvement: {} -> {}",
+            before,
+            stats.cut
+        );
+        // A 16x16 grid has a 16-cut bisection; FM from random should get
+        // within a small factor.
+        assert!(stats.cut <= 48, "cut {} far from optimal", stats.cut);
+        let bal = TwoWayBalance::new(&g, (0.5, 0.5), cfg.imbalance_tol);
+        assert!(bal.is_feasible(&bal.side_weights(&g, &side)));
+    }
+
+    #[test]
+    fn respects_multi_constraint_balance() {
+        let g = synthetic::type1(&grid_2d(16, 16), 3, 5);
+        let mut side = random_side(256, 3);
+        let cfg = PartitionConfig::default();
+        fm_refine_bisection(&g, &mut side, (0.5, 0.5), &cfg, &mut rng(4));
+        let bal = TwoWayBalance::new(&g, (0.5, 0.5), cfg.imbalance_tol);
+        let sw = bal.side_weights(&g, &side);
+        assert!(bal.is_feasible(&sw), "infeasible final state: {:?}", sw);
+    }
+
+    #[test]
+    fn type2_zero_weight_constraints_handled() {
+        let g = synthetic::type2(&grid_2d(16, 16), 5, 7);
+        let mut side = random_side(256, 5);
+        let cfg = PartitionConfig::default();
+        let stats = fm_refine_bisection(&g, &mut side, (0.5, 0.5), &cfg, &mut rng(6));
+        assert_eq!(stats.cut, cut_of(&g, &side));
+    }
+
+    #[test]
+    fn uneven_fractions_respected() {
+        let g = grid_2d(20, 20);
+        let mut side = random_side(400, 7);
+        let cfg = PartitionConfig::default();
+        fm_refine_bisection(&g, &mut side, (0.25, 0.75), &cfg, &mut rng(8));
+        let bal = TwoWayBalance::new(&g, (0.25, 0.75), cfg.imbalance_tol);
+        let sw = bal.side_weights(&g, &side);
+        assert!(bal.is_feasible(&sw));
+        let s0 = sw[0] as f64 / 400.0;
+        assert!((s0 - 0.25).abs() < 0.08, "side 0 fraction {s0}");
+    }
+
+    #[test]
+    fn already_optimal_bisection_untouched_cut() {
+        let g = grid_2d(8, 8);
+        // Perfect vertical split: cut 8.
+        let mut side: Vec<u32> = (0..64).map(|v| if v % 8 < 4 { 0 } else { 1 }).collect();
+        let cfg = PartitionConfig::default();
+        let stats = fm_refine_bisection(&g, &mut side, (0.5, 0.5), &cfg, &mut rng(9));
+        assert!(stats.cut <= 8);
+    }
+
+    #[test]
+    fn recovers_feasibility_from_skewed_start() {
+        let g = grid_2d(12, 12);
+        // 80/20 split: infeasible at 5%.
+        let mut side: Vec<u32> = (0..144).map(|v| if v < 115 { 0 } else { 1 }).collect();
+        let cfg = PartitionConfig::default();
+        fm_refine_bisection(&g, &mut side, (0.5, 0.5), &cfg, &mut rng(10));
+        let bal = TwoWayBalance::new(&g, (0.5, 0.5), cfg.imbalance_tol);
+        assert!(bal.is_feasible(&bal.side_weights(&g, &side)));
+    }
+
+    #[test]
+    fn stats_cut_matches_recount_across_seeds() {
+        let g = synthetic::type1(&grid_2d(10, 10), 2, 11);
+        let cfg = PartitionConfig::default();
+        for s in 0..6 {
+            let mut side = random_side(100, s);
+            let stats = fm_refine_bisection(&g, &mut side, (0.5, 0.5), &cfg, &mut rng(s));
+            assert_eq!(stats.cut, cut_of(&g, &side), "seed {s}");
+        }
+    }
+
+    #[test]
+    fn two_way_balance_caps_and_load() {
+        let g = grid_2d(4, 4); // 16 unit vertices
+        let bal = TwoWayBalance::new(&g, (0.5, 0.5), 0.0);
+        let sw = vec![8i64, 8];
+        assert!(bal.is_feasible(&sw));
+        assert_eq!(bal.load(&sw), 1.0);
+        let sw = vec![12i64, 4];
+        assert_eq!(bal.load(&sw), 1.5);
+    }
+}

@@ -1,0 +1,167 @@
+//! The multilevel k-way driver — the serial algorithm of the paper's
+//! experiments (coarsen → recursive-bisection initial partitioning of the
+//! coarsest graph → greedy multi-constraint refinement during uncoarsening).
+
+use crate::balance::{part_weights, rebalance, BalanceModel};
+use crate::coarsen::coarsen;
+use crate::config::PartitionConfig;
+use crate::kway_refine::greedy_kway_refine;
+use crate::rb::recursive_bisection_assignment;
+use crate::PartitionResult;
+use mcgp_graph::Graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Computes a k-way multi-constraint partition with the multilevel k-way
+/// algorithm. This is the serial baseline of every experiment in the paper.
+pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) -> PartitionResult {
+    assert!(nparts >= 1, "nparts must be >= 1");
+    assert!(graph.nvtxs() >= nparts, "more parts than vertices");
+    if nparts == 1 {
+        return PartitionResult::measure(graph, vec![0; graph.nvtxs()], 1, 0);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    // Phase 1: coarsening.
+    let hierarchy = coarsen(graph, config.coarsen_target(nparts), config, &mut rng);
+    let levels = hierarchy.nlevels();
+    let coarsest = hierarchy.coarsest().unwrap_or(graph);
+
+    // Phase 2: initial partitioning of the coarsest graph via recursive
+    // bisection.
+    let mut assignment = recursive_bisection_assignment(coarsest, nparts, config, &mut rng);
+
+    // Phase 3: uncoarsening with refinement (and explicit balancing when a
+    // level starts outside the caps).
+    let refine_on = |g: &Graph, assignment: &mut Vec<u32>, rng: &mut ChaCha8Rng| {
+        let model = BalanceModel::new(g, nparts, config.imbalance_tol);
+        let mut pw = part_weights(g, assignment, nparts);
+        if !model.is_balanced(&pw) {
+            rebalance(g, assignment, &mut pw, &model, rng);
+        }
+        greedy_kway_refine(g, assignment, &mut pw, &model, config.refine_iters, rng);
+    };
+
+    // Refine the initial partitioning on the coarsest graph itself.
+    refine_on(coarsest, &mut assignment, &mut rng);
+    for lvl in (0..levels).rev() {
+        assignment = hierarchy.project(lvl, &assignment);
+        let finer = if lvl == 0 {
+            graph
+        } else {
+            &hierarchy.levels()[lvl - 1].graph
+        };
+        refine_on(finer, &mut assignment, &mut rng);
+    }
+
+    // Final feasibility passes at the finest level: alternate balancing and
+    // refinement until the caps hold (bounded rounds).
+    {
+        let model = BalanceModel::new(graph, nparts, config.imbalance_tol);
+        let mut pw = part_weights(graph, &assignment, nparts);
+        for _ in 0..4 {
+            if model.is_balanced(&pw) {
+                break;
+            }
+            rebalance(graph, &mut assignment, &mut pw, &model, &mut rng);
+            greedy_kway_refine(graph, &mut assignment, &mut pw, &model, 2, &mut rng);
+        }
+    }
+
+    PartitionResult::measure(graph, assignment, nparts, levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcgp_graph::generators::{grid_2d, mrng_like};
+    use mcgp_graph::synthetic;
+
+    #[test]
+    fn grid_8way_quality() {
+        let g = grid_2d(32, 32);
+        let cfg = PartitionConfig::default();
+        let r = partition_kway(&g, 8, &cfg);
+        assert!(r.partition.all_parts_nonempty());
+        assert!(
+            r.quality.max_imbalance <= 1.08,
+            "imbalance {}",
+            r.quality.max_imbalance
+        );
+        // A decent 8-way split of a 32x32 grid cuts well under 300.
+        assert!(r.quality.edge_cut < 300, "cut {}", r.quality.edge_cut);
+    }
+
+    #[test]
+    fn multiconstraint_type1_balances_all_constraints() {
+        for ncon in [2usize, 3, 4, 5] {
+            let g = synthetic::type1(&mrng_like(4000, 7), ncon, 7);
+            let cfg = PartitionConfig::default();
+            let r = partition_kway(&g, 8, &cfg);
+            assert!(
+                r.quality.max_imbalance <= 1.12,
+                "ncon={ncon}: imbalance {} ({:?})",
+                r.quality.max_imbalance,
+                r.quality.imbalances
+            );
+        }
+    }
+
+    #[test]
+    fn multiconstraint_type2_balances_all_constraints() {
+        for ncon in [2usize, 3, 5] {
+            let g = synthetic::type2(&mrng_like(4000, 9), ncon, 9);
+            let cfg = PartitionConfig::default();
+            let r = partition_kway(&g, 8, &cfg);
+            assert!(
+                r.quality.max_imbalance <= 1.15,
+                "ncon={ncon}: imbalance {} ({:?})",
+                r.quality.max_imbalance,
+                r.quality.imbalances
+            );
+        }
+    }
+
+    #[test]
+    fn beats_naive_striping_on_cut() {
+        let g = mrng_like(3000, 11);
+        let cfg = PartitionConfig::default();
+        let r = partition_kway(&g, 16, &cfg);
+        let striped: Vec<u32> = (0..g.nvtxs())
+            .map(|v| ((v * 16) / g.nvtxs()) as u32)
+            .collect();
+        let striped_cut = mcgp_graph::metrics::edge_cut_raw(&g, &striped);
+        assert!(
+            r.quality.edge_cut < striped_cut,
+            "multilevel {} vs striped {striped_cut}",
+            r.quality.edge_cut
+        );
+    }
+
+    #[test]
+    fn single_part_and_small_graphs() {
+        let g = grid_2d(3, 3);
+        let cfg = PartitionConfig::default();
+        let r = partition_kway(&g, 1, &cfg);
+        assert_eq!(r.quality.edge_cut, 0);
+        let r = partition_kway(&g, 3, &cfg);
+        assert!(r.partition.all_parts_nonempty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = synthetic::type1(&grid_2d(20, 20), 3, 13);
+        let cfg = PartitionConfig::default();
+        let a = partition_kway(&g, 4, &cfg);
+        let b = partition_kway(&g, 4, &cfg);
+        assert_eq!(a.partition.assignment(), b.partition.assignment());
+    }
+
+    #[test]
+    fn reports_coarsening_levels() {
+        let g = mrng_like(4000, 15);
+        let cfg = PartitionConfig::default();
+        let r = partition_kway(&g, 4, &cfg);
+        assert!(r.coarsen_levels >= 3, "levels {}", r.coarsen_levels);
+    }
+}

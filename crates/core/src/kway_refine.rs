@@ -1,0 +1,241 @@
+//! Greedy multi-constraint k-way refinement (the serial uncoarsening-phase
+//! refinement of the multilevel k-way driver).
+//!
+//! Each iteration sweeps the boundary vertices in random order. A vertex
+//! moves to the adjacent subdomain with the largest positive cut gain whose
+//! caps it fits; zero-gain moves are taken when they improve balance. This
+//! is the KL-type relaxation the paper describes: no global priority queue,
+//! bounded iterations, early exit at a local minimum.
+
+use crate::balance::{apply_move, BalanceModel};
+use mcgp_graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Statistics of a k-way refinement call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KwayRefineStats {
+    /// Vertices moved across all iterations.
+    pub moves: usize,
+    /// Iterations executed (may stop early at a local minimum).
+    pub iterations: usize,
+    /// Total cut improvement (sum of gains of committed moves).
+    pub gain: i64,
+}
+
+/// Runs up to `iters` greedy refinement sweeps, updating `assignment` and
+/// the flattened part-weight matrix `pw` in place.
+pub fn greedy_kway_refine(
+    graph: &Graph,
+    assignment: &mut [u32],
+    pw: &mut [i64],
+    model: &BalanceModel,
+    iters: usize,
+    rng: &mut impl Rng,
+) -> KwayRefineStats {
+    let n = graph.nvtxs();
+    let ncon = graph.ncon();
+    let nparts = model.nparts();
+    let mut stats = KwayRefineStats::default();
+    let mut conn: Vec<i64> = vec![0; nparts];
+    let mut touched: Vec<usize> = Vec::with_capacity(16);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+
+    for _ in 0..iters {
+        stats.iterations += 1;
+        order.shuffle(rng);
+        let mut moved_this_iter = 0usize;
+        for &v in &order {
+            let v = v as usize;
+            let a = assignment[v] as usize;
+            // Connectivity of v per adjacent part.
+            touched.clear();
+            let mut internal = 0i64;
+            let mut is_boundary = false;
+            for (u, w) in graph.edges(v) {
+                let pu = assignment[u as usize] as usize;
+                if pu == a {
+                    internal += w;
+                } else {
+                    is_boundary = true;
+                    if conn[pu] == 0 {
+                        touched.push(pu);
+                    }
+                    conn[pu] += w;
+                }
+            }
+            if !is_boundary {
+                continue;
+            }
+            let vw = graph.vwgt(v);
+            // Never empty a subdomain: if v is the last vertex of its part
+            // (all of the part's weight is v's own), it must stay.
+            if (0..ncon).all(|i| pw[a * ncon + i] == vw[i]) && part_size_one(graph, assignment, v)
+            {
+                continue;
+            }
+            // Best destination by (gain, balance improvement).
+            let mut best: Option<(i64, f64, usize)> = None;
+            let load_a_before = part_load(model, pw, ncon, a);
+            for &b in &touched {
+                let gain = conn[b] - internal;
+                if gain < 0 {
+                    continue;
+                }
+                if !model.fits(&pw[b * ncon..(b + 1) * ncon], vw) {
+                    continue;
+                }
+                // Balance delta: how much the worse of the two parts'
+                // relative load improves under the move.
+                let bal_gain = {
+                    let load_b_before = part_load(model, pw, ncon, b);
+                    apply_move(pw, ncon, vw, a, b);
+                    let load_a_after = part_load(model, pw, ncon, a);
+                    let load_b_after = part_load(model, pw, ncon, b);
+                    apply_move(pw, ncon, vw, b, a);
+                    load_a_before.max(load_b_before) - load_a_after.max(load_b_after)
+                };
+                if gain == 0 && bal_gain <= 1e-12 {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bg, bb, _)) => gain > bg || (gain == bg && bal_gain > bb),
+                };
+                if better {
+                    best = Some((gain, bal_gain, b));
+                }
+            }
+            for &b in &touched {
+                conn[b] = 0;
+            }
+            if let Some((gain, _, b)) = best {
+                apply_move(pw, ncon, vw, a, b);
+                assignment[v] = b as u32;
+                moved_this_iter += 1;
+                stats.gain += gain;
+            }
+        }
+        stats.moves += moved_this_iter;
+        if moved_this_iter == 0 {
+            break; // local minimum
+        }
+    }
+    stats
+}
+
+/// True when `v` is the only vertex of its part (linear scan — only hit in
+/// degenerate k ≈ n configurations where parts hold a handful of vertices).
+fn part_size_one(graph: &Graph, assignment: &[u32], v: usize) -> bool {
+    let a = assignment[v];
+    (0..graph.nvtxs()).filter(|&u| assignment[u] == a).take(2).count() == 1
+}
+
+#[inline]
+fn part_load(model: &BalanceModel, pw: &[i64], ncon: usize, p: usize) -> f64 {
+    let mut worst: f64 = 0.0;
+    for i in 0..ncon {
+        let t = model.totals()[i];
+        if t > 0 {
+            let avg = t as f64 / model.nparts() as f64;
+            worst = worst.max(pw[p * ncon + i] as f64 / avg);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::part_weights;
+    use mcgp_graph::generators::grid_2d;
+    use mcgp_graph::metrics::edge_cut_raw;
+    use mcgp_graph::synthetic;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// A crude but balanced striped partition to start refinement from.
+    fn striped(n: usize, nparts: usize) -> Vec<u32> {
+        (0..n).map(|v| ((v * nparts) / n) as u32).collect()
+    }
+
+    #[test]
+    fn reduces_cut_of_scattered_partition() {
+        let g = grid_2d(16, 16);
+        // Random scatter: terrible cut, statistically balanced.
+        let mut r = rng(42);
+        let mut assignment: Vec<u32> = (0..256).map(|_| r.gen_range(0..2u32)).collect();
+        // Force exact balance so refinement starts feasible.
+        let ones: i64 = assignment.iter().map(|&p| p as i64).sum();
+        let mut fix = 128 - ones;
+        for a in assignment.iter_mut() {
+            if fix > 0 && *a == 0 {
+                *a = 1;
+                fix -= 1;
+            } else if fix < 0 && *a == 1 {
+                *a = 0;
+                fix += 1;
+            }
+        }
+        let model = BalanceModel::new(&g, 2, 0.05);
+        let mut pw = part_weights(&g, &assignment, 2);
+        let before = edge_cut_raw(&g, &assignment);
+        let stats = greedy_kway_refine(&g, &mut assignment, &mut pw, &model, 8, &mut rng(1));
+        let after = edge_cut_raw(&g, &assignment);
+        assert_eq!(before - after, stats.gain, "gain bookkeeping drifted");
+        assert!(after < before, "{before} -> {after}");
+        assert_eq!(
+            pw,
+            part_weights(&g, &assignment, 2),
+            "pw bookkeeping drifted"
+        );
+    }
+
+    #[test]
+    fn never_violates_caps() {
+        let g = synthetic::type1(&grid_2d(16, 16), 3, 2);
+        let mut assignment = striped(256, 4);
+        let model = BalanceModel::new(&g, 4, 0.05);
+        let mut pw = part_weights(&g, &assignment, 4);
+        // Striped start may violate caps; refinement must not make any part
+        // newly exceed them (moves require fits()).
+        let violations_before: Vec<bool> = (0..4)
+            .map(|p| (0..3).any(|i| pw[p * 3 + i] > model.limits()[i]))
+            .collect();
+        greedy_kway_refine(&g, &mut assignment, &mut pw, &model, 6, &mut rng(3));
+        for p in 0..4 {
+            let violated = (0..3).any(|i| pw[p * 3 + i] > model.limits()[i]);
+            assert!(
+                !violated || violations_before[p],
+                "part {p} newly violated caps"
+            );
+        }
+    }
+
+    #[test]
+    fn stops_at_local_minimum() {
+        let g = grid_2d(8, 8);
+        // Optimal 2-way split: no moves available.
+        let mut assignment: Vec<u32> = (0..64).map(|v| if v % 8 < 4 { 0 } else { 1 }).collect();
+        let model = BalanceModel::new(&g, 2, 0.05);
+        let mut pw = part_weights(&g, &assignment, 2);
+        let stats = greedy_kway_refine(&g, &mut assignment, &mut pw, &model, 10, &mut rng(4));
+        assert!(stats.iterations <= 2, "kept iterating: {:?}", stats);
+    }
+
+    #[test]
+    fn gain_is_never_negative() {
+        let g = synthetic::type2(&grid_2d(14, 14), 3, 8);
+        let mut assignment = striped(196, 7);
+        let model = BalanceModel::new(&g, 7, 0.05);
+        let mut pw = part_weights(&g, &assignment, 7);
+        let before = edge_cut_raw(&g, &assignment);
+        let stats = greedy_kway_refine(&g, &mut assignment, &mut pw, &model, 8, &mut rng(5));
+        assert!(stats.gain >= 0);
+        assert!(edge_cut_raw(&g, &assignment) <= before);
+    }
+}

@@ -1,0 +1,270 @@
+//! An indexed max-priority queue over dense `u32` handles with `i64` keys —
+//! the gain structure behind FM refinement. Supports O(log n) insert, pop,
+//! delete, and key update with O(1) handle lookup.
+
+/// Indexed binary max-heap. Handles must be `< capacity`.
+#[derive(Clone, Debug)]
+pub struct IndexedMaxHeap {
+    /// heap[i] = handle at heap position i.
+    heap: Vec<u32>,
+    /// keys[h] = key of handle h (valid while in the heap).
+    keys: Vec<i64>,
+    /// pos[h] = heap position of handle h, or NONE.
+    pos: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl IndexedMaxHeap {
+    /// Creates a heap able to hold handles `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        IndexedMaxHeap {
+            heap: Vec::with_capacity(capacity),
+            keys: vec![0; capacity],
+            pos: vec![NONE; capacity],
+        }
+    }
+
+    /// Number of elements currently queued.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when the queue holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True when `handle` is currently queued.
+    #[inline]
+    pub fn contains(&self, handle: u32) -> bool {
+        self.pos[handle as usize] != NONE
+    }
+
+    /// The key of a queued handle.
+    #[inline]
+    pub fn key(&self, handle: u32) -> i64 {
+        debug_assert!(self.contains(handle));
+        self.keys[handle as usize]
+    }
+
+    /// The maximum-key handle without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<(u32, i64)> {
+        self.heap.first().map(|&h| (h, self.keys[h as usize]))
+    }
+
+    /// Inserts `handle` with `key`. Panics in debug builds if already queued.
+    pub fn insert(&mut self, handle: u32, key: i64) {
+        debug_assert!(!self.contains(handle), "handle {handle} already queued");
+        self.keys[handle as usize] = key;
+        self.pos[handle as usize] = self.heap.len() as u32;
+        self.heap.push(handle);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Removes and returns the maximum-key handle.
+    pub fn pop(&mut self) -> Option<(u32, i64)> {
+        let top = *self.heap.first()?;
+        self.remove_at(0);
+        Some((top, self.keys[top as usize]))
+    }
+
+    /// Removes `handle` if queued; returns whether it was present.
+    pub fn remove(&mut self, handle: u32) -> bool {
+        let p = self.pos[handle as usize];
+        if p == NONE {
+            return false;
+        }
+        self.remove_at(p as usize);
+        true
+    }
+
+    /// Changes the key of a queued handle, restoring heap order.
+    pub fn update(&mut self, handle: u32, key: i64) {
+        let p = self.pos[handle as usize];
+        debug_assert!(p != NONE, "update of non-queued handle {handle}");
+        let old = self.keys[handle as usize];
+        self.keys[handle as usize] = key;
+        if key > old {
+            self.sift_up(p as usize);
+        } else if key < old {
+            self.sift_down(p as usize);
+        }
+    }
+
+    /// Inserts or updates, whichever applies.
+    pub fn upsert(&mut self, handle: u32, key: i64) {
+        if self.contains(handle) {
+            self.update(handle, key);
+        } else {
+            self.insert(handle, key);
+        }
+    }
+
+    /// Clears the queue (O(len)).
+    pub fn clear(&mut self) {
+        for &h in &self.heap {
+            self.pos[h as usize] = NONE;
+        }
+        self.heap.clear();
+    }
+
+    fn remove_at(&mut self, p: usize) {
+        let last = self.heap.len() - 1;
+        let removed = self.heap[p];
+        self.heap.swap(p, last);
+        self.heap.pop();
+        self.pos[removed as usize] = NONE;
+        if p < self.heap.len() {
+            let moved = self.heap[p];
+            self.pos[moved as usize] = p as u32;
+            // The moved element may need to go either way.
+            self.sift_up(p);
+            self.sift_down(self.pos[moved as usize] as usize);
+        }
+    }
+
+    #[inline]
+    fn key_at(&self, p: usize) -> i64 {
+        self.keys[self.heap[p] as usize]
+    }
+
+    fn sift_up(&mut self, mut p: usize) {
+        while p > 0 {
+            let parent = (p - 1) / 2;
+            if self.key_at(p) <= self.key_at(parent) {
+                break;
+            }
+            self.swap(p, parent);
+            p = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut p: usize) {
+        loop {
+            let l = 2 * p + 1;
+            let r = 2 * p + 2;
+            let mut largest = p;
+            if l < self.heap.len() && self.key_at(l) > self.key_at(largest) {
+                largest = l;
+            }
+            if r < self.heap.len() && self.key_at(r) > self.key_at(largest) {
+                largest = r;
+            }
+            if largest == p {
+                break;
+            }
+            self.swap(p, largest);
+            p = largest;
+        }
+    }
+
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as u32;
+        self.pos[self.heap[b] as usize] = b as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pops_in_descending_key_order() {
+        let mut q = IndexedMaxHeap::new(5);
+        for (h, k) in [(0u32, 3i64), (1, 7), (2, -2), (3, 7), (4, 0)] {
+            q.insert(h, k);
+        }
+        let mut keys = Vec::new();
+        while let Some((_, k)) = q.pop() {
+            keys.push(k);
+        }
+        assert_eq!(keys, vec![7, 7, 3, 0, -2]);
+    }
+
+    #[test]
+    fn update_reorders() {
+        let mut q = IndexedMaxHeap::new(3);
+        q.insert(0, 1);
+        q.insert(1, 2);
+        q.insert(2, 3);
+        q.update(0, 10);
+        assert_eq!(q.pop(), Some((0, 10)));
+        q.update(1, -5);
+        assert_eq!(q.pop(), Some((2, 3)));
+        assert_eq!(q.pop(), Some((1, -5)));
+    }
+
+    #[test]
+    fn remove_middle_element() {
+        let mut q = IndexedMaxHeap::new(4);
+        for (h, k) in [(0u32, 5i64), (1, 9), (2, 1), (3, 7)] {
+            q.insert(h, k);
+        }
+        assert!(q.remove(3));
+        assert!(!q.remove(3));
+        assert!(!q.contains(3));
+        let mut rest = Vec::new();
+        while let Some((h, _)) = q.pop() {
+            rest.push(h);
+        }
+        assert_eq!(rest, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn upsert_and_clear() {
+        let mut q = IndexedMaxHeap::new(2);
+        q.upsert(0, 1);
+        q.upsert(0, 4);
+        assert_eq!(q.key(0), 4);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(!q.contains(0));
+        q.upsert(0, 2);
+        assert_eq!(q.pop(), Some((0, 2)));
+    }
+
+    #[test]
+    fn randomized_against_reference_sort() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..60);
+            let mut q = IndexedMaxHeap::new(n);
+            let mut reference: Vec<(u32, i64)> = Vec::new();
+            for h in 0..n as u32 {
+                let k = rng.gen_range(-100..100);
+                q.insert(h, k);
+                reference.push((h, k));
+            }
+            // Random updates and removals.
+            for _ in 0..n / 2 {
+                let h = rng.gen_range(0..n as u32);
+                if rng.gen_bool(0.5) {
+                    if q.contains(h) {
+                        let k = rng.gen_range(-100..100);
+                        q.update(h, k);
+                        reference.iter_mut().find(|(x, _)| *x == h).unwrap().1 = k;
+                    }
+                } else {
+                    q.remove(h);
+                    reference.retain(|(x, _)| *x != h);
+                }
+            }
+            let mut popped = Vec::new();
+            while let Some((_, k)) = q.pop() {
+                popped.push(k);
+            }
+            let mut expect: Vec<i64> = reference.iter().map(|&(_, k)| k).collect();
+            expect.sort_unstable_by(|a, b| b.cmp(a));
+            assert_eq!(popped, expect);
+        }
+    }
+}

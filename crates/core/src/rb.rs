@@ -1,0 +1,223 @@
+//! Multilevel recursive bisection (the "pmetis"-style driver).
+//!
+//! Each bisection is itself multilevel — coarsen, bisect the coarsest graph,
+//! FM-refine back up — and the graph is then split into its two induced
+//! halves, recursing with part counts `⌈k/2⌉ / ⌊k/2⌋` (uneven target
+//! fractions handle non-power-of-two k). Recursive bisection is both a
+//! standalone partitioner and the initial-partitioning engine of the k-way
+//! driver, exactly as in METIS.
+
+use crate::coarsen::coarsen;
+use crate::config::PartitionConfig;
+use crate::fm2way::fm_refine_bisection;
+use crate::initial::initial_bisection;
+use crate::PartitionResult;
+use mcgp_graph::subgraph::split_bisection;
+use mcgp_graph::Graph;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One complete multilevel bisection of `graph` with side-0 target
+/// `fraction`. Returns the side assignment.
+pub fn multilevel_bisection(
+    graph: &Graph,
+    fraction: f64,
+    config: &PartitionConfig,
+    rng: &mut impl Rng,
+) -> Vec<u32> {
+    let hierarchy = coarsen(graph, config.coarsen_target(2), config, rng);
+    let coarsest = hierarchy.coarsest().unwrap_or(graph);
+    let mut side = initial_bisection(coarsest, fraction, config, rng);
+    for lvl in (0..hierarchy.nlevels()).rev() {
+        side = hierarchy.project(lvl, &side);
+        let finer = if lvl == 0 {
+            graph
+        } else {
+            &hierarchy.levels()[lvl - 1].graph
+        };
+        fm_refine_bisection(finer, &mut side, (fraction, 1.0 - fraction), config, rng);
+    }
+    side
+}
+
+/// Recursive bisection on a raw graph; returns the assignment into
+/// `0..nparts`. Used directly by the k-way driver for its coarsest-graph
+/// initial partitioning.
+pub fn recursive_bisection_assignment(
+    graph: &Graph,
+    nparts: usize,
+    config: &PartitionConfig,
+    rng: &mut impl Rng,
+) -> Vec<u32> {
+    // Per-bisection imbalance compounds multiplicatively over the recursion
+    // depth, so split the user's tolerance across the levels:
+    // (1 + tol_level)^depth = 1 + tol.
+    let depth = nparts.next_power_of_two().trailing_zeros().max(1) as f64;
+    let level_tol = (1.0 + config.imbalance_tol).powf(1.0 / depth) - 1.0;
+    let level_config = PartitionConfig {
+        imbalance_tol: level_tol,
+        ..config.clone()
+    };
+    let mut assignment = vec![0u32; graph.nvtxs()];
+    recurse(graph, nparts, 0, &level_config, rng, &mut assignment);
+    assignment
+}
+
+fn recurse(
+    graph: &Graph,
+    nparts: usize,
+    base: u32,
+    config: &PartitionConfig,
+    rng: &mut impl Rng,
+    out: &mut [u32],
+) {
+    debug_assert_eq!(out.len(), graph.nvtxs());
+    if nparts <= 1 {
+        out.fill(base);
+        return;
+    }
+    // Degenerate granularity: with as many parts as vertices (or fewer
+    // vertices after an uneven split), give every vertex its own part —
+    // bisection tolerances would otherwise starve some labels.
+    if graph.nvtxs() <= nparts {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = base + (i as u32).min(nparts as u32 - 1);
+        }
+        return;
+    }
+    let left_parts = nparts.div_ceil(2);
+    let right_parts = nparts - left_parts;
+    let fraction = left_parts as f64 / nparts as f64;
+    let side = multilevel_bisection(graph, fraction, config, rng);
+    if nparts == 2 {
+        for (o, &s) in out.iter_mut().zip(&side) {
+            *o = base + s;
+        }
+        return;
+    }
+    let (left, right) = split_bisection(graph, &side);
+    let mut left_out = vec![0u32; left.graph.nvtxs()];
+    let mut right_out = vec![0u32; right.graph.nvtxs()];
+    recurse(&left.graph, left_parts, base, config, rng, &mut left_out);
+    recurse(
+        &right.graph,
+        right_parts,
+        base + left_parts as u32,
+        config,
+        rng,
+        &mut right_out,
+    );
+    for (local, &parent) in left.to_parent.iter().enumerate() {
+        out[parent as usize] = left_out[local];
+    }
+    for (local, &parent) in right.to_parent.iter().enumerate() {
+        out[parent as usize] = right_out[local];
+    }
+}
+
+/// Multilevel recursive bisection partitioner (public driver).
+///
+/// ```
+/// use mcgp_core::{partition_rb, PartitionConfig};
+/// use mcgp_graph::generators::grid_2d;
+/// let r = partition_rb(&grid_2d(16, 16), 4, &PartitionConfig::default());
+/// assert!(r.partition.all_parts_nonempty());
+/// assert!(r.quality.max_imbalance < 1.10);
+/// ```
+pub fn partition_rb(graph: &Graph, nparts: usize, config: &PartitionConfig) -> PartitionResult {
+    assert!(nparts >= 1, "nparts must be >= 1");
+    assert!(graph.nvtxs() >= nparts, "more parts than vertices");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    // Level count of the top-level bisection, for statistics.
+    let levels = {
+        let mut probe_rng = ChaCha8Rng::seed_from_u64(config.seed);
+        coarsen(graph, config.coarsen_target(2), config, &mut probe_rng).nlevels()
+    };
+    let assignment = recursive_bisection_assignment(graph, nparts, config, &mut rng);
+    PartitionResult::measure(graph, assignment, nparts, levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcgp_graph::generators::{grid_2d, mrng_like};
+    use mcgp_graph::synthetic;
+
+    #[test]
+    fn bisection_of_grid_is_good_and_balanced() {
+        let g = grid_2d(24, 24);
+        let cfg = PartitionConfig::default();
+        let r = partition_rb(&g, 2, &cfg);
+        assert!(
+            r.quality.max_imbalance <= 1.06,
+            "imbalance {}",
+            r.quality.max_imbalance
+        );
+        // Optimal is 24; accept a small multiple.
+        assert!(r.quality.edge_cut <= 60, "cut {}", r.quality.edge_cut);
+    }
+
+    #[test]
+    fn four_way_partition_nonempty_parts() {
+        let g = mrng_like(2000, 3);
+        let cfg = PartitionConfig::default();
+        let r = partition_rb(&g, 4, &cfg);
+        assert!(r.partition.all_parts_nonempty());
+        assert!(
+            r.quality.max_imbalance <= 1.10,
+            "imbalance {}",
+            r.quality.max_imbalance
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_parts() {
+        let g = grid_2d(30, 30);
+        let cfg = PartitionConfig::default();
+        let r = partition_rb(&g, 7, &cfg);
+        assert!(r.partition.all_parts_nonempty());
+        let sizes = r.partition.part_sizes();
+        let avg = 900.0 / 7.0;
+        for (p, &s) in sizes.iter().enumerate() {
+            assert!(
+                (s as f64) < avg * 1.25 && (s as f64) > avg * 0.70,
+                "part {p} size {s} vs avg {avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_constraint_rb_respects_tolerance_roughly() {
+        let g = synthetic::type1(&mrng_like(3000, 5), 3, 5);
+        let cfg = PartitionConfig::default();
+        let r = partition_rb(&g, 4, &cfg);
+        // RB compounds per-level tolerance; allow modest slack above 5%.
+        assert!(
+            r.quality.max_imbalance <= 1.20,
+            "imbalance {}",
+            r.quality.max_imbalance
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = synthetic::type1(&grid_2d(16, 16), 2, 9);
+        let cfg = PartitionConfig::default();
+        let a = partition_rb(&g, 4, &cfg);
+        let b = partition_rb(&g, 4, &cfg);
+        assert_eq!(a.partition.assignment(), b.partition.assignment());
+        let c = partition_rb(&g, 4, &cfg.with_seed(1));
+        // Different seed very likely differs.
+        assert_ne!(a.partition.assignment(), c.partition.assignment());
+    }
+
+    #[test]
+    fn single_part_is_trivial() {
+        let g = grid_2d(5, 5);
+        let cfg = PartitionConfig::default();
+        let r = partition_rb(&g, 1, &cfg);
+        assert_eq!(r.quality.edge_cut, 0);
+        assert!(r.partition.assignment().iter().all(|&p| p == 0));
+    }
+}

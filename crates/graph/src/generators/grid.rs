@@ -1,0 +1,112 @@
+//! Regular grid meshes (the simplest well-shaped test graphs).
+
+use crate::csr::{Graph, Vertex};
+
+/// A 2-D grid of `nx * ny` vertices with 4-neighbour connectivity and unit
+/// weights. Vertex `(x, y)` has index `y * nx + x`.
+pub fn grid_2d(nx: usize, ny: usize) -> Graph {
+    assert!(nx >= 1 && ny >= 1, "grid dimensions must be positive");
+    let n = nx * ny;
+    let idx = |x: usize, y: usize| (y * nx + x) as Vertex;
+    let mut xadj = Vec::with_capacity(n + 1);
+    xadj.push(0usize);
+    let mut adjncy: Vec<Vertex> = Vec::new();
+    for y in 0..ny {
+        for x in 0..nx {
+            if x > 0 {
+                adjncy.push(idx(x - 1, y));
+            }
+            if x + 1 < nx {
+                adjncy.push(idx(x + 1, y));
+            }
+            if y > 0 {
+                adjncy.push(idx(x, y - 1));
+            }
+            if y + 1 < ny {
+                adjncy.push(idx(x, y + 1));
+            }
+            xadj.push(adjncy.len());
+        }
+    }
+    let adjwgt = vec![1i64; adjncy.len()];
+    Graph::from_csr_unchecked(1, xadj, adjncy, adjwgt, vec![1i64; n])
+}
+
+/// A 3-D grid of `nx * ny * nz` vertices with 6-neighbour connectivity and
+/// unit weights. Vertex `(x, y, z)` has index `(z * ny + y) * nx + x`.
+pub fn grid_3d(nx: usize, ny: usize, nz: usize) -> Graph {
+    assert!(
+        nx >= 1 && ny >= 1 && nz >= 1,
+        "grid dimensions must be positive"
+    );
+    let n = nx * ny * nz;
+    let idx = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as Vertex;
+    let mut xadj = Vec::with_capacity(n + 1);
+    xadj.push(0usize);
+    let mut adjncy: Vec<Vertex> = Vec::new();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x > 0 {
+                    adjncy.push(idx(x - 1, y, z));
+                }
+                if x + 1 < nx {
+                    adjncy.push(idx(x + 1, y, z));
+                }
+                if y > 0 {
+                    adjncy.push(idx(x, y - 1, z));
+                }
+                if y + 1 < ny {
+                    adjncy.push(idx(x, y + 1, z));
+                }
+                if z > 0 {
+                    adjncy.push(idx(x, y, z - 1));
+                }
+                if z + 1 < nz {
+                    adjncy.push(idx(x, y, z + 1));
+                }
+                xadj.push(adjncy.len());
+            }
+        }
+    }
+    let adjwgt = vec![1i64; adjncy.len()];
+    Graph::from_csr_unchecked(1, xadj, adjncy, adjwgt, vec![1i64; n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_2d_counts() {
+        let g = grid_2d(4, 3);
+        assert_eq!(g.nvtxs(), 12);
+        // 3 * 3 horizontal rows of edges + 4 * 2 vertical columns.
+        assert_eq!(g.nedges(), 3 * 3 + 4 * 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn grid_2d_degenerate_line() {
+        let g = grid_2d(5, 1);
+        assert_eq!(g.nvtxs(), 5);
+        assert_eq!(g.nedges(), 4);
+    }
+
+    #[test]
+    fn grid_3d_counts() {
+        let g = grid_3d(3, 3, 3);
+        assert_eq!(g.nvtxs(), 27);
+        // Each axis: 2 * 3 * 3 edges.
+        assert_eq!(g.nedges(), 3 * (2 * 3 * 3));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn grid_3d_corner_and_center_degrees() {
+        let g = grid_3d(3, 3, 3);
+        assert_eq!(g.degree(0), 3);
+        let center = (1 * 3 + 1) * 3 + 1;
+        assert_eq!(g.degree(center), 6);
+    }
+}

@@ -1,0 +1,18 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper's evaluation graphs (`mrng1`–`mrng4`) are finite-element-style
+//! 3-D meshes with average degree ≈ 7.9 that were never distributed. The
+//! [`mrng_like`] generator reproduces their structural properties — bounded
+//! degree, geometric locality, good multilevel coarsening behaviour — which
+//! is all the paper's analysis assumes ("well-shaped finite element
+//! meshes"). See DESIGN.md for the substitution rationale.
+
+mod grid;
+mod mrng;
+mod random;
+mod rmat;
+
+pub use grid::{grid_2d, grid_3d};
+pub use mrng::{mrng_like, mrng_like_with_coords, mrng_suite, MrngSpec, PAPER_MRNG};
+pub use random::{random_connected, random_graph};
+pub use rmat::{rmat, rmat_default};

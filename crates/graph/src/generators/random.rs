@@ -1,0 +1,82 @@
+//! Random graphs for tests and property-based checks.
+
+use crate::csr::{Graph, GraphBuilder};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// An Erdős–Rényi-style random graph with `n` vertices and approximately
+/// `n * avg_degree / 2` edges (duplicates merged, self-loops dropped), unit
+/// weights. Not necessarily connected.
+pub fn random_graph(n: usize, avg_degree: f64, seed: u64) -> Graph {
+    assert!(n >= 1);
+    assert!(avg_degree >= 0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let target_edges = ((n as f64) * avg_degree / 2.0).round() as usize;
+    for _ in 0..target_edges {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        b.edge(u, v);
+    }
+    b.build()
+        .expect("random_graph construction is structurally correct")
+}
+
+/// A connected random graph: a random spanning path (over a shuffled vertex
+/// order) plus extra random edges up to roughly `avg_degree`.
+pub fn random_connected(n: usize, avg_degree: f64, seed: u64) -> Graph {
+    assert!(n >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    use rand::seq::SliceRandom;
+    order.shuffle(&mut rng);
+    let mut b = GraphBuilder::new(n);
+    for w in order.windows(2) {
+        b.edge(w[0], w[1]);
+    }
+    let extra = (((n as f64) * avg_degree / 2.0) as usize).saturating_sub(n.saturating_sub(1));
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        b.edge(u, v);
+    }
+    b.build()
+        .expect("random_connected construction is structurally correct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn random_graph_is_valid_and_near_target_size() {
+        let g = random_graph(500, 6.0, 9);
+        g.validate().unwrap();
+        assert_eq!(g.nvtxs(), 500);
+        let avg = 2.0 * g.nedges() as f64 / 500.0;
+        assert!((4.5..=6.5).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..5 {
+            assert!(is_connected(&random_connected(200, 4.0, seed)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(random_graph(100, 5.0, 3), random_graph(100, 5.0, 3));
+        assert_ne!(random_graph(100, 5.0, 3), random_graph(100, 5.0, 4));
+    }
+
+    #[test]
+    fn single_vertex_graphs() {
+        let g = random_graph(1, 3.0, 0);
+        assert_eq!(g.nvtxs(), 1);
+        assert_eq!(g.nedges(), 0);
+        assert!(is_connected(&random_connected(1, 3.0, 0)));
+    }
+}

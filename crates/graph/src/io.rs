@@ -1,0 +1,358 @@
+//! METIS/Chaco graph-file format I/O, including the multi-constraint
+//! extension (`fmt`/`ncon` header fields), so workloads can be exchanged
+//! with METIS, ParMETIS, Scotch, and KaHIP.
+//!
+//! Format recap — header line `nvtxs nedges [fmt [ncon]]` where `fmt` is a
+//! three-digit flag string: hundreds = vertex sizes (unsupported here,
+//! rejected), tens = vertex weights present, ones = edge weights present.
+//! Each subsequent non-comment line lists one vertex: its `ncon` weights (if
+//! any) followed by `neighbor [edge-weight]` pairs with **1-based** vertex
+//! ids. `%`-prefixed lines are comments.
+
+use crate::csr::{Graph, Vertex};
+use crate::{GraphError, Result};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a METIS-format graph from any reader.
+pub fn read_metis<R: Read>(reader: R) -> Result<Graph> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+
+    // Header.
+    let (header_line_no, header) = loop {
+        match lines.next() {
+            Some((no, line)) => {
+                let line = line?;
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('%') {
+                    continue;
+                }
+                break (no + 1, trimmed.to_string());
+            }
+            None => {
+                return Err(GraphError::Parse {
+                    line: 0,
+                    msg: "empty file".into(),
+                });
+            }
+        }
+    };
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 2 || fields.len() > 4 {
+        return Err(GraphError::Parse {
+            line: header_line_no,
+            msg: format!("header must have 2-4 fields, got {}", fields.len()),
+        });
+    }
+    let parse_usize = |s: &str, line: usize| -> Result<usize> {
+        s.parse().map_err(|_| GraphError::Parse {
+            line,
+            msg: format!("invalid integer `{s}`"),
+        })
+    };
+    let nvtxs = parse_usize(fields[0], header_line_no)?;
+    let nedges = parse_usize(fields[1], header_line_no)?;
+    let fmt = if fields.len() >= 3 { fields[2] } else { "000" };
+    if fmt.len() > 3 || fmt.chars().any(|c| !c.is_ascii_digit()) {
+        return Err(GraphError::Parse {
+            line: header_line_no,
+            msg: format!("invalid fmt field `{fmt}`"),
+        });
+    }
+    let fmt_num: usize = fmt.parse().unwrap_or(0);
+    let has_vsize = fmt_num / 100 % 10 != 0;
+    let has_vwgt = fmt_num / 10 % 10 != 0;
+    let has_ewgt = fmt_num % 10 != 0;
+    if has_vsize {
+        return Err(GraphError::Parse {
+            line: header_line_no,
+            msg: "vertex sizes (fmt=1xx) are not supported".into(),
+        });
+    }
+    let ncon = if fields.len() == 4 {
+        let n = parse_usize(fields[3], header_line_no)?;
+        if n == 0 {
+            return Err(GraphError::Parse {
+                line: header_line_no,
+                msg: "ncon must be >= 1".into(),
+            });
+        }
+        n
+    } else if has_vwgt {
+        1
+    } else {
+        1 // unit weights, single constraint
+    };
+
+    let mut xadj = Vec::with_capacity(nvtxs + 1);
+    xadj.push(0usize);
+    let mut adjncy: Vec<Vertex> = Vec::with_capacity(2 * nedges);
+    let mut adjwgt: Vec<i64> = Vec::with_capacity(2 * nedges);
+    let mut vwgt: Vec<i64> = Vec::with_capacity(nvtxs * ncon);
+
+    let mut vertex = 0usize;
+    for (no, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.starts_with('%') {
+            continue;
+        }
+        if vertex >= nvtxs {
+            if trimmed.is_empty() {
+                continue;
+            }
+            return Err(GraphError::Parse {
+                line: no + 1,
+                msg: format!("more than {nvtxs} vertex lines"),
+            });
+        }
+        let mut tokens = trimmed.split_whitespace();
+        if has_vwgt {
+            for c in 0..ncon {
+                let tok = tokens.next().ok_or_else(|| GraphError::Parse {
+                    line: no + 1,
+                    msg: format!("vertex {}: missing weight {}", vertex + 1, c + 1),
+                })?;
+                let w: i64 = tok.parse().map_err(|_| GraphError::Parse {
+                    line: no + 1,
+                    msg: format!("invalid weight `{tok}`"),
+                })?;
+                if w < 0 {
+                    return Err(GraphError::Parse {
+                        line: no + 1,
+                        msg: format!("negative vertex weight {w}"),
+                    });
+                }
+                vwgt.push(w);
+            }
+        } else {
+            vwgt.extend(std::iter::repeat(1).take(ncon));
+        }
+        loop {
+            let Some(tok) = tokens.next() else { break };
+            let u: usize = tok.parse().map_err(|_| GraphError::Parse {
+                line: no + 1,
+                msg: format!("invalid neighbor id `{tok}`"),
+            })?;
+            if u == 0 || u > nvtxs {
+                return Err(GraphError::Parse {
+                    line: no + 1,
+                    msg: format!("neighbor id {u} out of range 1..={nvtxs}"),
+                });
+            }
+            let w = if has_ewgt {
+                let tok = tokens.next().ok_or_else(|| GraphError::Parse {
+                    line: no + 1,
+                    msg: format!("neighbor {u}: missing edge weight"),
+                })?;
+                tok.parse().map_err(|_| GraphError::Parse {
+                    line: no + 1,
+                    msg: format!("invalid edge weight `{tok}`"),
+                })?
+            } else {
+                1i64
+            };
+            adjncy.push((u - 1) as Vertex);
+            adjwgt.push(w);
+        }
+        xadj.push(adjncy.len());
+        vertex += 1;
+    }
+    if vertex != nvtxs {
+        return Err(GraphError::Parse {
+            line: 0,
+            msg: format!("expected {nvtxs} vertex lines, found {vertex}"),
+        });
+    }
+    if adjncy.len() != 2 * nedges {
+        return Err(GraphError::Parse {
+            line: 0,
+            msg: format!(
+                "header declares {nedges} edges but adjacency lists contain {} entries (expected {})",
+                adjncy.len(),
+                2 * nedges
+            ),
+        });
+    }
+    Graph::from_csr(ncon, xadj, adjncy, adjwgt, vwgt)
+}
+
+/// Reads a METIS-format graph from a file.
+pub fn read_metis_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    read_metis(std::fs::File::open(path)?)
+}
+
+/// Writes a graph in METIS format. Vertex and edge weights are always
+/// emitted (`fmt = 011`), with `ncon` in the header when it exceeds 1.
+pub fn write_metis<W: Write>(graph: &Graph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    if graph.ncon() > 1 {
+        writeln!(
+            w,
+            "{} {} 011 {}",
+            graph.nvtxs(),
+            graph.nedges(),
+            graph.ncon()
+        )?;
+    } else {
+        writeln!(w, "{} {} 011", graph.nvtxs(), graph.nedges())?;
+    }
+    let mut line = String::new();
+    for v in 0..graph.nvtxs() {
+        line.clear();
+        for &wt in graph.vwgt(v) {
+            line.push_str(&wt.to_string());
+            line.push(' ');
+        }
+        for (u, ew) in graph.edges(v) {
+            line.push_str(&(u + 1).to_string());
+            line.push(' ');
+            line.push_str(&ew.to_string());
+            line.push(' ');
+        }
+        writeln!(w, "{}", line.trim_end())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a graph to a METIS-format file.
+pub fn write_metis_file<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()> {
+    write_metis(graph, std::fs::File::create(path)?)
+}
+
+/// Writes a partition vector in METIS `.part` format (one part id per line).
+pub fn write_partition<W: Write>(assignment: &[u32], writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    for &p in assignment {
+        writeln!(w, "{p}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a METIS `.part` file.
+pub fn read_partition<R: Read>(reader: R) -> Result<Vec<u32>> {
+    let reader = BufReader::new(reader);
+    let mut out = Vec::new();
+    for (no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        out.push(t.parse().map_err(|_| GraphError::Parse {
+            line: no + 1,
+            msg: format!("invalid part id `{t}`"),
+        })?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+    use crate::generators::grid_2d;
+    use crate::synthetic;
+
+    fn roundtrip(g: &Graph) -> Graph {
+        let mut buf = Vec::new();
+        write_metis(g, &mut buf).unwrap();
+        read_metis(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_unit_graph() {
+        let g = grid_2d(5, 4);
+        assert_eq!(roundtrip(&g), g);
+    }
+
+    #[test]
+    fn roundtrip_multiconstraint_weighted() {
+        let g = synthetic::type2(&grid_2d(8, 8), 3, 7);
+        assert_eq!(roundtrip(&g), g);
+    }
+
+    #[test]
+    fn parses_plain_unweighted_format() {
+        // Classic 4-clique minus one edge, no weights.
+        let text = "% a comment\n4 5\n2 3 4\n1 3\n1 2 4\n1 3\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.nvtxs(), 4);
+        assert_eq!(g.nedges(), 5);
+        assert_eq!(g.vwgt(0), &[1]);
+        assert_eq!(g.edge_weights(0), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn parses_vertex_weights_without_ncon_field() {
+        let text = "2 1 010\n5 2\n7 1\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.ncon(), 1);
+        assert_eq!(g.vwgt(0), &[5]);
+        assert_eq!(g.vwgt(1), &[7]);
+    }
+
+    #[test]
+    fn parses_multi_constraint_header() {
+        let text = "2 1 011 2\n5 6 2 9\n7 8 1 9\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.ncon(), 2);
+        assert_eq!(g.vwgt(0), &[5, 6]);
+        assert_eq!(g.vwgt(1), &[7, 8]);
+        assert_eq!(g.edge_weights(0), &[9]);
+    }
+
+    #[test]
+    fn rejects_wrong_edge_count() {
+        let text = "3 5\n2\n1 3\n2\n";
+        assert!(matches!(
+            read_metis(text.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_neighbor() {
+        let text = "2 1\n2\n3\n";
+        assert!(read_metis(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_asymmetric_adjacency() {
+        let text = "2 1\n2\n\n";
+        // Vertex 2's line is empty, so edge (1,2) has no reverse.
+        assert!(read_metis(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_vertex_sizes_fmt() {
+        let text = "1 0 100\n3\n";
+        assert!(read_metis(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        assert!(read_metis("".as_bytes()).is_err());
+        assert!(read_metis("% only comments\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn partition_roundtrip() {
+        let part = vec![0u32, 3, 1, 2, 2];
+        let mut buf = Vec::new();
+        write_partition(&part, &mut buf).unwrap();
+        assert_eq!(read_partition(buf.as_slice()).unwrap(), part);
+    }
+
+    #[test]
+    fn builder_and_io_agree_on_weighted_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.weighted_edge(0, 1, 4).weighted_edge(1, 2, 2);
+        b.vwgt(2, vec![1, 2, 3, 4, 5, 6]);
+        let g = b.build().unwrap();
+        assert_eq!(roundtrip(&g), g);
+    }
+}

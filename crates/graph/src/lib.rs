@@ -1,0 +1,76 @@
+//! # mcgp-graph — graph substrate for multi-constraint partitioning
+//!
+//! This crate provides everything the partitioners in [`mcgp-core`] and
+//! [`mcgp-parallel`] consume:
+//!
+//! * [`Graph`]: a compressed-sparse-row undirected graph whose vertices carry
+//!   a *weight vector* of `ncon` components (one per computational phase of a
+//!   multi-phase simulation) and whose edges carry scalar weights.
+//! * [`generators`]: deterministic synthetic finite-element-style meshes,
+//!   including the `mrng`-like graphs used throughout the paper's evaluation.
+//! * [`synthetic`]: the paper's Type-1 and Type-2 multi-weight workload
+//!   synthesis (Section 3 of the Euro-Par 2000 text).
+//! * [`io`]: METIS-format readers/writers for multi-constraint graphs.
+//! * [`metrics`]: edge-cut, per-constraint load imbalance, and communication
+//!   volume — the quantities every table and figure reports.
+//!
+//! The crate is dependency-light and fully deterministic: every randomised
+//! routine takes an explicit seed and uses a stable ChaCha stream.
+
+pub mod connectivity;
+pub mod csr;
+pub mod generators;
+pub mod geometry;
+pub mod io;
+pub mod mesh;
+pub mod metrics;
+pub mod partition;
+pub mod permute;
+pub mod subgraph;
+pub mod synthetic;
+
+pub use csr::{Graph, GraphBuilder, Vertex};
+pub use metrics::{edge_cut, imbalances, max_imbalance, PartitionQuality};
+pub use partition::Partition;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced by graph construction, validation, and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// The CSR arrays are structurally inconsistent (lengths, ranges).
+    Malformed(String),
+    /// The adjacency structure is not symmetric or contains self-loops.
+    NotUndirected(String),
+    /// A file could not be read, written, or parsed.
+    Io(std::io::Error),
+    /// A METIS-format file violated the format specification.
+    Parse { line: usize, msg: String },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::Malformed(msg) => write!(f, "malformed graph: {msg}"),
+            GraphError::NotUndirected(msg) => write!(f, "graph is not undirected: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}

@@ -1,0 +1,248 @@
+//! Finite-element meshes and their conversion to partitionable graphs.
+//!
+//! Scientific simulations partition *meshes*, not graphs; METIS ships
+//! `mesh2dual`/`mesh2nodal` converters for exactly this reason. This module
+//! provides a minimal element-mesh representation plus the two standard
+//! conversions:
+//!
+//! * the **dual graph** — one vertex per element, an edge between elements
+//!   sharing a face (what element-based solvers partition), and
+//! * the **nodal graph** — one vertex per mesh node, an edge between nodes
+//!   co-occurring in an element (what node-based solvers partition).
+
+use crate::csr::{Graph, GraphBuilder};
+use crate::{GraphError, Result};
+
+/// An unstructured element mesh: each element lists its node ids.
+///
+/// Elements may have different node counts (mixed meshes are allowed);
+/// faces are derived combinatorially, with "sharing a face" approximated by
+/// sharing at least `nodes_per_face` nodes — exact for the regular element
+/// types (2 for triangles/quads in 2-D, 3 for tetrahedra, 4 for hexahedra).
+#[derive(Clone, Debug)]
+pub struct ElementMesh {
+    nnodes: usize,
+    /// CSR of element → node lists.
+    eptr: Vec<usize>,
+    eind: Vec<u32>,
+}
+
+impl ElementMesh {
+    /// Builds a mesh from per-element node lists.
+    pub fn new(nnodes: usize, elements: &[Vec<u32>]) -> Result<Self> {
+        let mut eptr = Vec::with_capacity(elements.len() + 1);
+        eptr.push(0usize);
+        let mut eind = Vec::new();
+        for (e, nodes) in elements.iter().enumerate() {
+            if nodes.is_empty() {
+                return Err(GraphError::Malformed(format!("element {e} has no nodes")));
+            }
+            for &n in nodes {
+                if n as usize >= nnodes {
+                    return Err(GraphError::Malformed(format!(
+                        "element {e} references node {n} >= nnodes {nnodes}"
+                    )));
+                }
+                eind.push(n);
+            }
+            eptr.push(eind.len());
+        }
+        Ok(ElementMesh { nnodes, eptr, eind })
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn nelements(&self) -> usize {
+        self.eptr.len() - 1
+    }
+
+    /// Number of mesh nodes.
+    #[inline]
+    pub fn nnodes(&self) -> usize {
+        self.nnodes
+    }
+
+    /// Node list of element `e`.
+    #[inline]
+    pub fn element(&self, e: usize) -> &[u32] {
+        &self.eind[self.eptr[e]..self.eptr[e + 1]]
+    }
+
+    /// A structured hexahedral block mesh of `nx × ny × nz` elements
+    /// (8 nodes per element) — the classic FE test domain.
+    pub fn hex_block(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx >= 1 && ny >= 1 && nz >= 1);
+        let npx = nx + 1;
+        let npy = ny + 1;
+        let node = |x: usize, y: usize, z: usize| ((z * npy + y) * npx + x) as u32;
+        let mut elements = Vec::with_capacity(nx * ny * nz);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    elements.push(vec![
+                        node(x, y, z),
+                        node(x + 1, y, z),
+                        node(x, y + 1, z),
+                        node(x + 1, y + 1, z),
+                        node(x, y, z + 1),
+                        node(x + 1, y, z + 1),
+                        node(x, y + 1, z + 1),
+                        node(x + 1, y + 1, z + 1),
+                    ]);
+                }
+            }
+        }
+        ElementMesh::new(npx * npy * (nz + 1), &elements).expect("structured mesh is valid")
+    }
+
+    /// A structured triangular mesh over an `nx × ny` quad grid (each quad
+    /// split into two triangles).
+    pub fn tri_grid(nx: usize, ny: usize) -> Self {
+        assert!(nx >= 1 && ny >= 1);
+        let npx = nx + 1;
+        let node = |x: usize, y: usize| (y * npx + x) as u32;
+        let mut elements = Vec::with_capacity(2 * nx * ny);
+        for y in 0..ny {
+            for x in 0..nx {
+                elements.push(vec![node(x, y), node(x + 1, y), node(x, y + 1)]);
+                elements.push(vec![node(x + 1, y), node(x + 1, y + 1), node(x, y + 1)]);
+            }
+        }
+        ElementMesh::new(npx * (ny + 1), &elements).expect("structured mesh is valid")
+    }
+
+    /// The dual graph: one vertex per element; elements sharing at least
+    /// `nodes_per_face` nodes are adjacent. Unit weights.
+    pub fn dual_graph(&self, nodes_per_face: usize) -> Graph {
+        assert!(nodes_per_face >= 1);
+        let ne = self.nelements();
+        // Node → incident elements (CSR).
+        let mut deg = vec![0usize; self.nnodes];
+        for &n in &self.eind {
+            deg[n as usize] += 1;
+        }
+        let mut nptr = Vec::with_capacity(self.nnodes + 1);
+        nptr.push(0usize);
+        for d in &deg {
+            nptr.push(nptr.last().unwrap() + d);
+        }
+        let mut nind = vec![0u32; self.eind.len()];
+        let mut fill = nptr.clone();
+        for e in 0..ne {
+            for &n in self.element(e) {
+                nind[fill[n as usize]] = e as u32;
+                fill[n as usize] += 1;
+            }
+        }
+        // For each element, count shared nodes with each neighbouring
+        // element via the node→element lists.
+        let mut b = GraphBuilder::new(ne);
+        let mut shared: Vec<u32> = vec![0; ne];
+        let mut touched: Vec<u32> = Vec::new();
+        for e in 0..ne {
+            for &n in self.element(e) {
+                let n = n as usize;
+                for &f in &nind[nptr[n]..nptr[n + 1]] {
+                    if (f as usize) > e {
+                        if shared[f as usize] == 0 {
+                            touched.push(f);
+                        }
+                        shared[f as usize] += 1;
+                    }
+                }
+            }
+            for &f in &touched {
+                if shared[f as usize] as usize >= nodes_per_face {
+                    b.edge(e, f as usize);
+                }
+                shared[f as usize] = 0;
+            }
+            touched.clear();
+        }
+        b.build().expect("dual graph construction is structurally correct")
+    }
+
+    /// The nodal graph: one vertex per mesh node; nodes co-occurring in an
+    /// element are adjacent. Unit weights.
+    pub fn nodal_graph(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.nnodes);
+        for e in 0..self.nelements() {
+            let nodes = self.element(e);
+            for i in 0..nodes.len() {
+                for j in i + 1..nodes.len() {
+                    b.edge(nodes[i] as usize, nodes[j] as usize);
+                }
+            }
+        }
+        b.build().expect("nodal graph construction is structurally correct")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_block_counts() {
+        let m = ElementMesh::hex_block(3, 2, 2);
+        assert_eq!(m.nelements(), 12);
+        assert_eq!(m.nnodes(), 4 * 3 * 3);
+        assert_eq!(m.element(0).len(), 8);
+    }
+
+    #[test]
+    fn hex_dual_is_the_element_grid() {
+        // The dual of an nx*ny*nz hex block (faces = 4 shared nodes) is the
+        // 3-D grid graph of elements.
+        let m = ElementMesh::hex_block(3, 3, 3);
+        let dual = m.dual_graph(4);
+        assert_eq!(dual.nvtxs(), 27);
+        assert_eq!(dual.nedges(), 3 * (2 * 3 * 3)); // matches grid_3d(3,3,3)
+        dual.validate().unwrap();
+    }
+
+    #[test]
+    fn tri_grid_dual_adjacency() {
+        // Each interior triangle borders 3 others (sharing an edge = 2
+        // nodes); the two triangles of one quad always share a diagonal.
+        let m = ElementMesh::tri_grid(2, 2);
+        assert_eq!(m.nelements(), 8);
+        let dual = m.dual_graph(2);
+        assert_eq!(dual.nvtxs(), 8);
+        // Triangles 0 and 1 (same quad) are adjacent.
+        assert!(dual.neighbors(0).contains(&1));
+    }
+
+    #[test]
+    fn nodal_graph_of_single_triangle_is_triangle() {
+        let m = ElementMesh::new(3, &[vec![0, 1, 2]]).unwrap();
+        let g = m.nodal_graph();
+        assert_eq!(g.nvtxs(), 3);
+        assert_eq!(g.nedges(), 3);
+    }
+
+    #[test]
+    fn nodal_graph_merges_shared_edges() {
+        // Two triangles sharing an edge: 4 nodes, 5 distinct node pairs.
+        let m = ElementMesh::new(4, &[vec![0, 1, 2], vec![1, 2, 3]]).unwrap();
+        let g = m.nodal_graph();
+        assert_eq!(g.nvtxs(), 4);
+        assert_eq!(g.nedges(), 5);
+    }
+
+    #[test]
+    fn rejects_out_of_range_nodes() {
+        assert!(ElementMesh::new(2, &[vec![0, 5]]).is_err());
+        assert!(ElementMesh::new(2, &[vec![]]).is_err());
+    }
+
+    #[test]
+    fn dual_graph_partitions_well() {
+        // End-to-end: partition the dual of a hex block; the partitioner
+        // sees a well-shaped mesh graph.
+        let m = ElementMesh::hex_block(8, 8, 4);
+        let dual = m.dual_graph(4);
+        assert_eq!(dual.nvtxs(), 256);
+        crate::connectivity::is_connected(&dual).then_some(()).expect("dual connected");
+    }
+}

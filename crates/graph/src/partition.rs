@@ -1,0 +1,144 @@
+//! A k-way partition assignment and its derived bookkeeping.
+
+use crate::csr::Graph;
+use crate::{GraphError, Result};
+
+/// A k-way partition: an assignment of every vertex to a subdomain in
+/// `0..nparts`.
+///
+/// This type is deliberately thin — partitioners manipulate raw `Vec<u32>`
+/// internally and wrap the final assignment here for the public API, where
+/// the quality metrics in [`crate::metrics`] consume it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    nparts: usize,
+    assignment: Vec<u32>,
+}
+
+impl Partition {
+    /// Wraps an assignment vector, validating the range of every entry.
+    pub fn new(nparts: usize, assignment: Vec<u32>) -> Result<Self> {
+        if nparts == 0 {
+            return Err(GraphError::Malformed("nparts must be >= 1".into()));
+        }
+        if let Some((v, &p)) = assignment
+            .iter()
+            .enumerate()
+            .find(|(_, &p)| p as usize >= nparts)
+        {
+            return Err(GraphError::Malformed(format!(
+                "vertex {v} assigned to part {p} >= nparts {nparts}"
+            )));
+        }
+        Ok(Partition { nparts, assignment })
+    }
+
+    /// Number of subdomains.
+    #[inline]
+    pub fn nparts(&self) -> usize {
+        self.nparts
+    }
+
+    /// Subdomain of vertex `v`.
+    #[inline]
+    pub fn part(&self, v: usize) -> usize {
+        self.assignment[v] as usize
+    }
+
+    /// The raw assignment slice.
+    #[inline]
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Consumes the partition, returning the raw assignment vector.
+    pub fn into_assignment(self) -> Vec<u32> {
+        self.assignment
+    }
+
+    /// Number of vertices assigned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True when no vertices are assigned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Per-subdomain weight totals for each constraint: a
+    /// `nparts * ncon` flattened matrix, row per subdomain.
+    pub fn part_weights(&self, graph: &Graph) -> Vec<i64> {
+        assert_eq!(
+            graph.nvtxs(),
+            self.assignment.len(),
+            "partition/graph size mismatch"
+        );
+        let ncon = graph.ncon();
+        let mut pw = vec![0i64; self.nparts * ncon];
+        for v in 0..graph.nvtxs() {
+            let p = self.assignment[v] as usize;
+            let row = &mut pw[p * ncon..(p + 1) * ncon];
+            for (i, &w) in graph.vwgt(v).iter().enumerate() {
+                row[i] += w;
+            }
+        }
+        pw
+    }
+
+    /// Number of vertices in each subdomain.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.nparts];
+        for &p in &self.assignment {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// True if every subdomain received at least one vertex.
+    pub fn all_parts_nonempty(&self) -> bool {
+        self.part_sizes().iter().all(|&s| s > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    fn path4() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1).edge(1, 2).edge(2, 3);
+        b.vwgt(2, vec![1, 2, 1, 2, 1, 2, 1, 2]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rejects_out_of_range_part() {
+        assert!(Partition::new(2, vec![0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_parts() {
+        assert!(Partition::new(0, vec![]).is_err());
+    }
+
+    #[test]
+    fn part_weights_sum_per_constraint() {
+        let g = path4();
+        let p = Partition::new(2, vec![0, 0, 1, 1]).unwrap();
+        let pw = p.part_weights(&g);
+        assert_eq!(pw, vec![2, 4, 2, 4]);
+    }
+
+    #[test]
+    fn part_sizes_and_nonempty() {
+        let p = Partition::new(3, vec![0, 0, 2, 2]).unwrap();
+        assert_eq!(p.part_sizes(), vec![2, 0, 2]);
+        assert!(!p.all_parts_nonempty());
+        let q = Partition::new(2, vec![0, 1, 1, 0]).unwrap();
+        assert!(q.all_parts_nonempty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Induced-subgraph extraction, used by recursive bisection to split a graph
+//! into the two halves selected by a bisection.
+
+use crate::csr::{Graph, Vertex};
+
+/// The result of extracting an induced subgraph: the subgraph plus the
+/// mapping from its local vertex ids back to the parent graph.
+#[derive(Clone, Debug)]
+pub struct SubgraphMap {
+    /// The extracted subgraph.
+    pub graph: Graph,
+    /// `to_parent[local] = parent vertex id`.
+    pub to_parent: Vec<Vertex>,
+}
+
+/// Extracts the subgraph induced by the vertices where `select(v)` is true.
+///
+/// Edges to unselected vertices are dropped (they are exactly the edges a
+/// bisection cut). Vertex weights are carried over; local ids preserve the
+/// parent's relative order.
+pub fn induced_subgraph(parent: &Graph, select: impl Fn(usize) -> bool) -> SubgraphMap {
+    let n = parent.nvtxs();
+    let ncon = parent.ncon();
+    let mut to_parent: Vec<Vertex> = Vec::new();
+    let mut local = vec![u32::MAX; n];
+    for v in 0..n {
+        if select(v) {
+            local[v] = to_parent.len() as u32;
+            to_parent.push(v as Vertex);
+        }
+    }
+    let sn = to_parent.len();
+    let mut xadj = Vec::with_capacity(sn + 1);
+    xadj.push(0usize);
+    let mut adjncy: Vec<Vertex> = Vec::new();
+    let mut adjwgt: Vec<i64> = Vec::new();
+    let mut vwgt: Vec<i64> = Vec::with_capacity(sn * ncon);
+    for &pv in &to_parent {
+        let pv = pv as usize;
+        for (u, w) in parent.edges(pv) {
+            let lu = local[u as usize];
+            if lu != u32::MAX {
+                adjncy.push(lu);
+                adjwgt.push(w);
+            }
+        }
+        xadj.push(adjncy.len());
+        vwgt.extend_from_slice(parent.vwgt(pv));
+    }
+    let graph = Graph::from_csr_unchecked(ncon, xadj, adjncy, adjwgt, vwgt);
+    SubgraphMap { graph, to_parent }
+}
+
+/// Splits a graph by a binary side assignment into the two induced halves.
+pub fn split_bisection(parent: &Graph, side: &[u32]) -> (SubgraphMap, SubgraphMap) {
+    debug_assert_eq!(parent.nvtxs(), side.len());
+    let left = induced_subgraph(parent, |v| side[v] == 0);
+    let right = induced_subgraph(parent, |v| side[v] != 0);
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+    use crate::generators::grid_2d;
+
+    #[test]
+    fn extracts_half_of_a_square() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 0);
+        let g = b.build().unwrap();
+        let sub = induced_subgraph(&g, |v| v < 2);
+        assert_eq!(sub.graph.nvtxs(), 2);
+        assert_eq!(sub.graph.nedges(), 1);
+        assert_eq!(sub.to_parent, vec![0, 1]);
+    }
+
+    #[test]
+    fn carries_multi_constraint_weights() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1).edge(1, 2);
+        b.vwgt(2, vec![1, 10, 2, 20, 3, 30]);
+        let g = b.build().unwrap();
+        let sub = induced_subgraph(&g, |v| v != 1);
+        assert_eq!(sub.graph.nvtxs(), 2);
+        assert_eq!(sub.graph.nedges(), 0);
+        assert_eq!(sub.graph.vwgt(0), &[1, 10]);
+        assert_eq!(sub.graph.vwgt(1), &[3, 30]);
+    }
+
+    #[test]
+    fn split_partitions_edge_count() {
+        let g = grid_2d(6, 6);
+        let side: Vec<u32> = (0..36).map(|v| if v % 6 < 3 { 0 } else { 1 }).collect();
+        let (l, r) = split_bisection(&g, &side);
+        assert_eq!(l.graph.nvtxs() + r.graph.nvtxs(), 36);
+        // 6x6 grid split into two 6x3 halves: each half keeps 6*2 + 5*3 = 27
+        // edges, and 6 edges are cut.
+        assert_eq!(l.graph.nedges(), 27);
+        assert_eq!(r.graph.nedges(), 27);
+        assert_eq!(g.nedges() - l.graph.nedges() - r.graph.nedges(), 6);
+    }
+
+    #[test]
+    fn subgraph_is_valid_csr() {
+        let g = grid_2d(8, 5);
+        let sub = induced_subgraph(&g, |v| v % 3 != 0);
+        sub.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_selection_gives_empty_graph() {
+        let g = grid_2d(3, 3);
+        let sub = induced_subgraph(&g, |_| false);
+        assert_eq!(sub.graph.nvtxs(), 0);
+        assert!(sub.to_parent.is_empty());
+    }
+}

@@ -1,0 +1,396 @@
+//! `mcgp` — command-line driver for the partitioners and every paper
+//! experiment.
+//!
+//! ```text
+//! mcgp table1|figures|table2|table3|table4|ablation-slices|
+//!      ablation-imbalance|ablation-constraints|all [options]
+//! mcgp partition <file.graph> <k> [--parallel <p>] [--seed <s>] [--outfile <f>]
+//!
+//! options:
+//!   --scale <N>    generate graphs at 1/N of paper size   [default 16]
+//!   --seeds <N>    runs per cell, averaged                [default 3]
+//!   --procs <list> comma-separated processor counts       [default 32,64,128]
+//!   --out <dir>    also write JSONL records under <dir>
+//! ```
+
+use mcgp_harness::exp_ablation::{
+    constraint_sweep, constraint_text, imbalance_recovery, imbalance_text, slice_ablation,
+    slice_ablation_text,
+};
+use mcgp_harness::exp_adaptive::{adaptive_comparison, adaptive_text};
+use mcgp_harness::exp_quality::{figure_bars, figure_quality, figure_text, table1, table1_text};
+use mcgp_harness::exp_time::{iso_rows, scaling_table, scaling_text, table2, table2_text};
+use mcgp_harness::report::write_records;
+use mcgp_harness::suite::{build_suite, Scale};
+use std::path::PathBuf;
+
+struct Opts {
+    scale: usize,
+    seeds: usize,
+    procs: Vec<usize>,
+    out: Option<PathBuf>,
+    rest: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut opts = Opts {
+        scale: 16,
+        seeds: 3,
+        procs: vec![32, 64, 128],
+        out: None,
+        rest: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => opts.scale = it.next().expect("--scale N").parse().expect("integer"),
+            "--seeds" => opts.seeds = it.next().expect("--seeds N").parse().expect("integer"),
+            "--procs" => {
+                opts.procs = it
+                    .next()
+                    .expect("--procs list")
+                    .split(',')
+                    .map(|s| s.parse().expect("integer list"))
+                    .collect()
+            }
+            "--out" => opts.out = Some(PathBuf::from(it.next().expect("--out dir"))),
+            other => opts.rest.push(other.to_string()),
+        }
+    }
+    opts
+}
+
+fn seeds(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| 1000 + 37 * i).collect()
+}
+
+const SUITE_SEED: u64 = 20260706;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        eprintln!("usage: mcgp <table1|figures|table2|table3|table4|ablation-slices|ablation-imbalance|ablation-constraints|all|partition> [options]");
+        std::process::exit(2);
+    };
+    let opts = parse_opts(&args[1..]);
+    let out = opts.out.clone();
+    let out = out.as_deref();
+    let scale = Scale {
+        denominator: opts.scale,
+    };
+
+    match cmd.as_str() {
+        "table1" => run_table1(scale, out),
+        "figures" | "fig3" | "fig4" | "fig5" => run_figures(&cmd, scale, &opts, out),
+        "table2" => run_table2(scale, out),
+        "table3" => run_table3(scale, out),
+        "table4" => run_table4(scale, out),
+        "ablation-slices" => run_ablation_slices(scale, &opts, out),
+        "ablation-imbalance" => run_ablation_imbalance(scale, out),
+        "ablation-constraints" => run_ablation_constraints(scale, out),
+        "adaptive" => run_adaptive(scale, out),
+        "all" => {
+            run_table1(scale, out);
+            run_figures("figures", scale, &opts, out);
+            run_table2(scale, out);
+            run_table3(scale, out);
+            run_table4(scale, out);
+            run_ablation_slices(scale, &opts, out);
+            run_ablation_imbalance(scale, out);
+            run_ablation_constraints(scale, out);
+            run_adaptive(scale, out);
+        }
+        "partition" => run_partition(&opts),
+        "verify" => run_verify(&opts),
+        other => {
+            eprintln!("unknown command `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_table1(scale: Scale, out: Option<&std::path::Path>) {
+    eprintln!(
+        "[table1] generating suite at 1/{} scale...",
+        scale.denominator
+    );
+    let suite = build_suite(scale, SUITE_SEED);
+    let rows = table1(&suite);
+    println!(
+        "\nTable 1. Graph characteristics (generated at 1/{} scale).",
+        scale.denominator
+    );
+    println!("{}", table1_text(&rows));
+    write_records(out, "table1", &rows).expect("write records");
+}
+
+fn run_figures(which: &str, scale: Scale, opts: &Opts, out: Option<&std::path::Path>) {
+    let procs: Vec<usize> = match which {
+        "fig3" => vec![32],
+        "fig4" => vec![64],
+        "fig5" => vec![128],
+        _ => opts.procs.clone(),
+    };
+    eprintln!(
+        "[figures] suite 1/{}, procs {:?}, {} seed(s) — this is the long experiment",
+        scale.denominator, procs, opts.seeds
+    );
+    let suite = build_suite(scale, SUITE_SEED);
+    let t0 = std::time::Instant::now();
+    let rows = figure_quality(&suite, &procs, &seeds(opts.seeds), |r| {
+        eprintln!(
+            "  {} {} p={}: ratio {:.3} balance {:.3} ({:.0?})",
+            r.graph,
+            r.label,
+            r.nprocs,
+            r.ratio,
+            r.balance,
+            t0.elapsed()
+        );
+    });
+    for &p in &procs {
+        let fig = match p {
+            32 => "Figure 3",
+            64 => "Figure 4",
+            128 => "Figure 5",
+            _ => "Figure (custom p)",
+        };
+        println!("\n{fig}. Edge-cut normalized by the serial algorithm and max balance, p = {p}.");
+        println!("{}", figure_text(&rows, p));
+        println!("{}", figure_bars(&rows, p));
+    }
+    write_records(out, "figures", &rows).expect("write records");
+}
+
+fn run_table2(scale: Scale, out: Option<&std::path::Path>) {
+    eprintln!("[table2] serial vs parallel on mrng1, 3-constraint Type-1...");
+    let suite = build_suite(scale, SUITE_SEED);
+    let ks: Vec<usize> = [8, 16, 32, 64, 128]
+        .into_iter()
+        .filter(|&k| k <= suite[0].graph.nvtxs())
+        .collect();
+    let rows = table2(&suite[0].graph, &ks, 1001);
+    println!("\nTable 2. Serial and parallel run times (modeled seconds), 3-constraint, mrng1.");
+    println!("{}", table2_text(&rows));
+    write_records(out, "table2", &rows).expect("write records");
+}
+
+fn run_table3(scale: Scale, out: Option<&std::path::Path>) {
+    eprintln!("[table3] scaling, 3-constraint Type-1, mrng2..mrng4...");
+    let suite = build_suite(scale, SUITE_SEED);
+    let procs = [8, 16, 32, 64, 128];
+    let cells = scaling_table(&suite[1..4], &procs, 3, 1001, |c| {
+        eprintln!(
+            "  {} p={}: {:.3}s eff {:.0}%",
+            c.graph,
+            c.nprocs,
+            c.time_s,
+            c.efficiency * 100.0
+        );
+    });
+    println!(
+        "\nTable 3. Parallel run times (modeled seconds) and efficiencies, 3-constraint Type-1."
+    );
+    println!("{}", scaling_text(&cells, &procs, true));
+    let iso = iso_rows(&cells);
+    if !iso.is_empty() {
+        println!(
+            "Isoefficiency check (graph x4, processors x2 should roughly preserve efficiency):"
+        );
+        for r in &iso {
+            println!(
+                "  {} eff {:.0}%  ->  {} eff {:.0}%",
+                r.small,
+                r.eff_small * 100.0,
+                r.large,
+                r.eff_large * 100.0
+            );
+        }
+    }
+    write_records(out, "table3", &cells).expect("write records");
+    write_records(out, "table3_iso", &iso).expect("write records");
+}
+
+fn run_table4(scale: Scale, out: Option<&std::path::Path>) {
+    eprintln!("[table4] single-constraint baseline, mrng2..mrng4...");
+    let suite = build_suite(scale, SUITE_SEED);
+    let procs = [8, 16, 32, 64, 128];
+    let cells = scaling_table(&suite[1..4], &procs, 1, 1001, |c| {
+        eprintln!("  {} p={}: {:.3}s", c.graph, c.nprocs, c.time_s);
+    });
+    println!(
+        "\nTable 4. Parallel run times (modeled seconds) of the single-constraint partitioner."
+    );
+    println!("{}", scaling_text(&cells, &procs, false));
+    write_records(out, "table4", &cells).expect("write records");
+}
+
+fn run_ablation_slices(scale: Scale, opts: &Opts, out: Option<&std::path::Path>) {
+    eprintln!("[A1] slice vs reservation refinement...");
+    let suite = build_suite(scale, SUITE_SEED);
+    let rows = slice_ablation(
+        &suite[0..2],
+        &[32, 64],
+        &[2, 3, 5],
+        &seeds(opts.seeds),
+        |r| {
+            eprintln!(
+                "  {} {} p={}: reservation {:.3} slice {:.3}",
+                r.graph, r.label, r.nprocs, r.reservation_ratio, r.slice_ratio
+            );
+        },
+    );
+    println!("\nAblation A1. Slice-allocation vs reservation refinement (cut / serial cut).");
+    println!("{}", slice_ablation_text(&rows));
+    write_records(out, "ablation_slices", &rows).expect("write records");
+}
+
+fn run_ablation_imbalance(scale: Scale, out: Option<&std::path::Path>) {
+    eprintln!("[A2] initial-imbalance recoverability...");
+    let suite = build_suite(scale, SUITE_SEED);
+    let injections = [0.0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40];
+    let rows = imbalance_recovery(&suite[0].graph, 16, 16, &injections, 1001);
+    println!("\nAblation A2. Injected initial imbalance vs what refinement recovers (k = p = 16).");
+    println!("{}", imbalance_text(&rows));
+    write_records(out, "ablation_imbalance", &rows).expect("write records");
+}
+
+fn run_ablation_constraints(scale: Scale, out: Option<&std::path::Path>) {
+    eprintln!("[A3] constraint-count sweep...");
+    let suite = build_suite(scale, SUITE_SEED);
+    let rows = constraint_sweep(&suite[0].graph, 32, 8, 1001);
+    println!("\nAblation A3. Serial quality vs number of constraints (Type-1, k = 32).");
+    println!("{}", constraint_text(&rows));
+    write_records(out, "ablation_constraints", &rows).expect("write records");
+}
+
+fn run_partition(opts: &Opts) {
+    let usage =
+        "usage: mcgp partition <file.graph> <k> [--parallel <p>] [--seed <s>] [--tol <t>] [--outfile <f>]";
+    let mut file = None;
+    let mut k = None;
+    let mut parallel = None;
+    let mut seed = 4242u64;
+    let mut tol = 0.05f64;
+    let mut outfile = None;
+    let mut it = opts.rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--parallel" => {
+                parallel = Some(it.next().expect(usage).parse::<usize>().expect("integer"))
+            }
+            "--seed" => seed = it.next().expect(usage).parse().expect("integer"),
+            "--tol" => tol = it.next().expect(usage).parse().expect("float"),
+            "--outfile" => outfile = Some(it.next().expect(usage).to_string()),
+            other if file.is_none() => file = Some(other.to_string()),
+            other if k.is_none() => k = Some(other.parse::<usize>().expect("k must be integer")),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(file), Some(k)) = (file, k) else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let graph = mcgp_graph::io::read_metis_file(&file).unwrap_or_else(|e| {
+        eprintln!("failed to read {file}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "{}: {} vertices, {} edges, {} constraint(s)",
+        file,
+        graph.nvtxs(),
+        graph.nedges(),
+        graph.ncon()
+    );
+    let mut cfg = mcgp_core::PartitionConfig::default().with_seed(seed);
+    cfg.imbalance_tol = tol;
+    let (assignment, quality) = match parallel {
+        Some(p) => {
+            let mut pcfg = mcgp_parallel::ParallelConfig::new(p);
+            pcfg.serial = cfg;
+            let r = mcgp_parallel::parallel_partition_kway(&graph, k, &pcfg);
+            eprintln!(
+                "parallel (p={p}): modeled time {:.3}s, {} supersteps, {} bytes comm",
+                r.stats.modeled_time_s, r.stats.supersteps, r.stats.comm_bytes
+            );
+            (r.partition.into_assignment(), r.quality)
+        }
+        None => {
+            let r = mcgp_core::partition_kway(&graph, k, &cfg);
+            (r.partition.into_assignment(), r.quality)
+        }
+    };
+    println!(
+        "edge-cut {}  max-imbalance {:.4}  comm-volume {}",
+        quality.edge_cut, quality.max_imbalance, quality.comm_volume
+    );
+    let outfile = outfile.unwrap_or_else(|| format!("{file}.part.{k}"));
+    let f = std::fs::File::create(&outfile).expect("create output file");
+    mcgp_graph::io::write_partition(&assignment, f).expect("write partition");
+    eprintln!("wrote {outfile}");
+}
+
+fn run_adaptive(scale: Scale, out: Option<&std::path::Path>) {
+    eprintln!("[E1] adaptive repartitioning comparison...");
+    let suite = build_suite(scale, SUITE_SEED);
+    let rows = adaptive_comparison(&suite[0].graph, 16, 6, 1001);
+    println!("\nExtension E1. Adaptive repartitioning: scratch-remap vs refinement (k = 16).");
+    println!("{}", adaptive_text(&rows));
+    write_records(out, "adaptive", &rows).expect("write records");
+}
+
+fn run_verify(opts: &Opts) {
+    let usage = "usage: mcgp verify <file.graph> <file.part>";
+    let (Some(gfile), Some(pfile)) = (opts.rest.first(), opts.rest.get(1)) else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let graph = mcgp_graph::io::read_metis_file(gfile).unwrap_or_else(|e| {
+        eprintln!("failed to read {gfile}: {e}");
+        std::process::exit(1);
+    });
+    let assignment = mcgp_graph::io::read_partition(
+        std::fs::File::open(pfile).unwrap_or_else(|e| {
+            eprintln!("failed to open {pfile}: {e}");
+            std::process::exit(1);
+        }),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("failed to parse {pfile}: {e}");
+        std::process::exit(1);
+    });
+    if assignment.len() != graph.nvtxs() {
+        eprintln!(
+            "partition length {} does not match graph vertex count {}",
+            assignment.len(),
+            graph.nvtxs()
+        );
+        std::process::exit(1);
+    }
+    let nparts = assignment.iter().copied().max().map_or(1, |m| m as usize + 1);
+    let part = mcgp_graph::Partition::new(nparts, assignment).unwrap_or_else(|e| {
+        eprintln!("invalid partition: {e}");
+        std::process::exit(1);
+    });
+    let q = mcgp_graph::PartitionQuality::measure(&graph, &part);
+    println!(
+        "parts {}  edge-cut {}  comm-volume {}  boundary {}",
+        nparts, q.edge_cut, q.comm_volume, q.boundary
+    );
+    for (i, imb) in q.imbalances.iter().enumerate() {
+        println!("constraint {i}: imbalance {imb:.4}");
+    }
+    if opts.rest.iter().any(|a| a == "--detailed") {
+        println!();
+        println!("part  vertices  boundary  neighbors  cut-edges  weights");
+        for r in mcgp_graph::metrics::subdomain_reports(&graph, &part) {
+            println!(
+                "{:>4}  {:>8}  {:>8}  {:>9}  {:>9}  {:?}",
+                r.part, r.vertices, r.boundary, r.neighbors, r.cut_edges, r.weights
+            );
+        }
+    }
+}

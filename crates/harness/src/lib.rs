@@ -1,0 +1,27 @@
+//! # mcgp-harness — experiment drivers for every table and figure
+//!
+//! Each module regenerates one piece of the paper's evaluation (Section 3):
+//!
+//! * [`suite`] — the `mrng1..mrng4` workload suite at a configurable scale,
+//!   with Type-1/Type-2 multi-weight synthesis.
+//! * [`exp_quality`] — Figures 3, 4, 5 (parallel/serial edge-cut ratio and
+//!   maximum balance at p = 32, 64, 128) and Table 1.
+//! * [`exp_time`] — Tables 2, 3, 4 (serial vs parallel times, scaling and
+//!   efficiency, single-constraint baseline) plus the isoefficiency check.
+//! * [`exp_ablation`] — the ablations DESIGN.md calls out: slice vs
+//!   reservation refinement (A1), unrecoverable initial imbalance (A2), and
+//!   quality drop-off with growing constraint counts (A3).
+//! * [`report`] — plain-text table rendering and JSON record output.
+//!
+//! The `mcgp` binary exposes all of these as subcommands; see
+//! `EXPERIMENTS.md` at the repository root for the recorded paper-vs-
+//! measured comparison.
+
+pub mod exp_ablation;
+pub mod exp_adaptive;
+pub mod exp_quality;
+pub mod exp_time;
+pub mod report;
+pub mod suite;
+
+pub use suite::{Scale, SuiteGraph, WorkloadSpec};

@@ -1,0 +1,162 @@
+//! Plain-text tables and JSON experiment records.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// Renders an aligned plain-text table: a header row plus data rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Appends one JSON record per line to `<dir>/<name>.jsonl` (created if
+/// missing). No-op when `dir` is `None`.
+pub fn write_records<T: Serialize>(
+    dir: Option<&Path>,
+    name: &str,
+    records: &[T],
+) -> std::io::Result<()> {
+    let Some(dir) = dir else { return Ok(()) };
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.jsonl"));
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    for r in records {
+        writeln!(
+            f,
+            "{}",
+            serde_json::to_string(r).expect("serializable record")
+        )?;
+    }
+    Ok(())
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percentage with no decimals (paper style: "94%").
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// Renders a horizontal bar chart with a reference line, in the spirit of
+/// the paper's Figures 3-5: each item is `(label, value)`; `reference`
+/// (e.g. 1.0 for "equal to serial") is marked with `|` on every bar.
+pub fn render_bars(items: &[(String, f64)], reference: f64, width: usize) -> String {
+    let max = items
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(reference, f64::max)
+        .max(1e-9);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let ref_col = ((reference / max) * width as f64).round() as usize;
+    let mut out = String::new();
+    for (label, value) in items {
+        let filled = ((value / max) * width as f64).round() as usize;
+        let mut bar: Vec<char> = (0..width.max(ref_col) + 1)
+            .map(|c| if c < filled { '#' } else { ' ' })
+            .collect();
+        if ref_col < bar.len() {
+            bar[ref_col] = if ref_col < filled { '+' } else { '|' };
+        }
+        let bar: String = bar.into_iter().collect();
+        out.push_str(&format!(
+            "{:<label_w$}  {} {:.3}\n",
+            label,
+            bar.trim_end_matches(' '),
+            value
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["graph", "cut"],
+            &[
+                vec!["mrng1".into(), "123".into()],
+                vec!["mrng10".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("graph"));
+        assert!(lines[2].ends_with("123"));
+        assert!(lines[3].ends_with("  4"));
+    }
+
+    #[test]
+    fn records_roundtrip_jsonl() {
+        #[derive(serde::Serialize)]
+        struct R {
+            x: u32,
+        }
+        let dir = std::env::temp_dir().join("mcgp_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_records(Some(&dir), "t", &[R { x: 1 }, R { x: 2 }]).unwrap();
+        let content = std::fs::read_to_string(dir.join("t.jsonl")).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        assert!(content.contains("{\"x\":1}"));
+    }
+
+    #[test]
+    fn bars_mark_the_reference() {
+        let items = vec![("a".to_string(), 0.5), ("bb".to_string(), 1.5)];
+        let s = render_bars(&items, 1.0, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // The short bar shows the reference as '|', the long one crosses it.
+        assert!(lines[0].contains('|'), "{s}");
+        assert!(lines[1].contains('+'), "{s}");
+        assert!(lines[1].matches('#').count() > lines[0].matches('#').count());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(pct(0.937), "94%");
+    }
+}

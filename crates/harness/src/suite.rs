@@ -1,0 +1,107 @@
+//! The evaluation workload suite: scaled `mrng` graphs plus Type-1/Type-2
+//! multi-weight synthesis.
+
+use mcgp_graph::generators::{mrng_suite, MrngSpec};
+use mcgp_graph::synthetic::{self, ProblemType};
+use mcgp_graph::Graph;
+
+/// Scale at which the paper's graphs are regenerated: `1/denominator` of
+/// the published vertex counts (`denominator = 1` is full paper scale).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Divide the paper's vertex counts by this.
+    pub denominator: usize,
+}
+
+impl Scale {
+    /// The default for experiment runs on a development machine (~8 k to
+    /// ~470 k vertices).
+    pub const DEFAULT: Scale = Scale { denominator: 16 };
+
+    /// Full paper scale (257 k – 7.5 M vertices); slow but faithful.
+    pub const FULL: Scale = Scale { denominator: 1 };
+}
+
+/// One generated suite graph with its Table-1 identity.
+pub struct SuiteGraph {
+    /// Which paper graph this stands in for.
+    pub spec: MrngSpec,
+    /// The generated mesh (unit weights; attach workloads via
+    /// [`WorkloadSpec::synthesize`]).
+    pub graph: Graph,
+}
+
+/// Generates the four-graph suite at the given scale (deterministic).
+pub fn build_suite(scale: Scale, seed: u64) -> Vec<SuiteGraph> {
+    mrng_suite(scale.denominator, seed)
+        .into_iter()
+        .map(|(spec, graph)| SuiteGraph { spec, graph })
+        .collect()
+}
+
+/// A problem instance of the paper's evaluation: `m cons t` in the figure
+/// labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WorkloadSpec {
+    /// Number of constraints (2–5 in the paper).
+    pub ncon: usize,
+    /// Type 1 or Type 2 synthesis.
+    pub problem: ProblemType,
+}
+
+impl WorkloadSpec {
+    /// The figure label, e.g. `3 cons 1`.
+    pub fn label(&self) -> String {
+        format!("{} cons {}", self.ncon, self.problem)
+    }
+
+    /// Attaches this workload to a mesh (deterministic per seed).
+    pub fn synthesize(&self, mesh: &Graph, seed: u64) -> Graph {
+        synthetic::synthesize(mesh, self.problem, self.ncon, seed)
+    }
+
+    /// The full evaluation grid of Figures 3–5: m ∈ {2,3,4,5} × {Type1,
+    /// Type2}, in figure order.
+    pub fn figure_grid() -> Vec<WorkloadSpec> {
+        let mut grid = Vec::new();
+        for ncon in 2..=5 {
+            for problem in [ProblemType::Type1, ProblemType::Type2] {
+                grid.push(WorkloadSpec { ncon, problem });
+            }
+        }
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_four_graphs_in_order() {
+        let suite = build_suite(Scale { denominator: 256 }, 1);
+        assert_eq!(suite.len(), 4);
+        assert_eq!(suite[0].spec.name, "mrng1");
+        assert_eq!(suite[3].spec.name, "mrng4");
+        assert!(suite[0].graph.nvtxs() < suite[1].graph.nvtxs());
+    }
+
+    #[test]
+    fn figure_grid_is_the_paper_matrix() {
+        let grid = WorkloadSpec::figure_grid();
+        assert_eq!(grid.len(), 8);
+        assert_eq!(grid[0].label(), "2 cons 1");
+        assert_eq!(grid[7].label(), "5 cons 2");
+    }
+
+    #[test]
+    fn workload_synthesis_matches_spec() {
+        let suite = build_suite(Scale { denominator: 256 }, 2);
+        let w = WorkloadSpec {
+            ncon: 3,
+            problem: ProblemType::Type2,
+        };
+        let g = w.synthesize(&suite[0].graph, 7);
+        assert_eq!(g.ncon(), 3);
+    }
+}

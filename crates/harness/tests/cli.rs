@@ -1,0 +1,158 @@
+//! Integration tests of the `mcgp` command-line binary.
+
+use std::process::Command;
+
+fn mcgp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mcgp"))
+}
+
+#[test]
+fn table1_prints_all_four_graphs() {
+    let out = mcgp()
+        .args(["table1", "--scale", "256"])
+        .output()
+        .expect("run mcgp");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for g in ["mrng1", "mrng2", "mrng3", "mrng4"] {
+        assert!(stdout.contains(g), "missing {g} in:\n{stdout}");
+    }
+    assert!(stdout.contains("Table 1"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = mcgp().arg("bogus").output().expect("run mcgp");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn no_command_prints_usage() {
+    let out = mcgp().output().expect("run mcgp");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn partition_subcommand_roundtrip() {
+    // Write a small multi-constraint graph, partition it via the CLI, and
+    // validate the produced .part file.
+    let dir = std::env::temp_dir().join("mcgp_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpath = dir.join("tiny.graph");
+    let mesh = mcgp_graph::generators::grid_2d(20, 20);
+    let wg = mcgp_graph::synthetic::type1(&mesh, 2, 1);
+    mcgp_graph::io::write_metis_file(&wg, &gpath).unwrap();
+
+    let ppath = dir.join("tiny.part");
+    let out = mcgp()
+        .args([
+            "partition",
+            gpath.to_str().unwrap(),
+            "4",
+            "--outfile",
+            ppath.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run mcgp partition");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("edge-cut"), "{stdout}");
+
+    let assignment = mcgp_graph::io::read_partition(std::fs::File::open(&ppath).unwrap()).unwrap();
+    assert_eq!(assignment.len(), 400);
+    assert!(assignment.iter().all(|&p| p < 4));
+}
+
+#[test]
+fn partition_parallel_mode() {
+    let dir = std::env::temp_dir().join("mcgp_cli_test_par");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpath = dir.join("tiny.graph");
+    let mesh = mcgp_graph::generators::grid_2d(16, 16);
+    mcgp_graph::io::write_metis_file(&mesh, &gpath).unwrap();
+    let out = mcgp()
+        .args(["partition", gpath.to_str().unwrap(), "4", "--parallel", "4"])
+        .current_dir(&dir)
+        .output()
+        .expect("run mcgp partition --parallel");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("modeled time"));
+}
+
+#[test]
+fn partition_rejects_missing_file() {
+    let out = mcgp()
+        .args(["partition", "/nonexistent/file.graph", "4"])
+        .output()
+        .expect("run mcgp");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failed to read"));
+}
+
+#[test]
+fn verify_subcommand_reports_quality() {
+    let dir = std::env::temp_dir().join("mcgp_cli_verify");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpath = dir.join("v.graph");
+    let ppath = dir.join("v.part");
+    let mesh = mcgp_graph::generators::grid_2d(10, 10);
+    mcgp_graph::io::write_metis_file(&mesh, &gpath).unwrap();
+    let assignment: Vec<u32> = (0..100).map(|v| (v / 50) as u32).collect();
+    mcgp_graph::io::write_partition(&assignment, std::fs::File::create(&ppath).unwrap()).unwrap();
+    let out = mcgp()
+        .args(["verify", gpath.to_str().unwrap(), ppath.to_str().unwrap()])
+        .output()
+        .expect("run mcgp verify");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("edge-cut 10"), "{stdout}");
+    assert!(stdout.contains("imbalance 1.0000"), "{stdout}");
+}
+
+#[test]
+fn verify_detailed_prints_subdomain_rows() {
+    let dir = std::env::temp_dir().join("mcgp_cli_verify_det");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpath = dir.join("v.graph");
+    let ppath = dir.join("v.part");
+    let mesh = mcgp_graph::generators::grid_2d(8, 8);
+    mcgp_graph::io::write_metis_file(&mesh, &gpath).unwrap();
+    let assignment: Vec<u32> = (0..64).map(|v| (v / 32) as u32).collect();
+    mcgp_graph::io::write_partition(&assignment, std::fs::File::create(&ppath).unwrap()).unwrap();
+    let out = mcgp()
+        .args(["verify", gpath.to_str().unwrap(), ppath.to_str().unwrap(), "--detailed"])
+        .output()
+        .expect("run mcgp verify --detailed");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("part  vertices"), "{stdout}");
+}
+
+#[test]
+fn verify_rejects_length_mismatch() {
+    let dir = std::env::temp_dir().join("mcgp_cli_verify_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpath = dir.join("v.graph");
+    let ppath = dir.join("v.part");
+    mcgp_graph::io::write_metis_file(&mcgp_graph::generators::grid_2d(4, 4), &gpath).unwrap();
+    mcgp_graph::io::write_partition(&[0u32, 1], std::fs::File::create(&ppath).unwrap()).unwrap();
+    let out = mcgp()
+        .args(["verify", gpath.to_str().unwrap(), ppath.to_str().unwrap()])
+        .output()
+        .expect("run mcgp verify");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,53 @@
+//! # mcgp-parallel — parallel multilevel multi-constraint partitioning
+//!
+//! The parallel formulation of *Schloegel, Karypis & Kumar, "Parallel
+//! Multilevel Algorithms for Multi-constraint Graph Partitioning"*
+//! (Euro-Par 2000), built on a **BSP logical-processor substrate** that
+//! stands in for the paper's 128-processor Cray T3E (see `DESIGN.md` for the
+//! substitution rationale):
+//!
+//! * [`dist`] — a block-distributed CSR graph; each of `p` logical
+//!   processors owns a contiguous vertex range and sees remote state only
+//!   through values published at superstep boundaries.
+//! * [`cost`] — a LogP/BSP cost model that accounts every superstep's
+//!   per-processor computation and communication, yielding the modeled
+//!   parallel times of the paper's Tables 2–4 (physical 128-way wall-clock
+//!   being unavailable on a development machine).
+//! * [`match_par`], [`coarsen_par`] — parallel coarsening: handshake
+//!   heavy-edge matching with conflict arbitration and distributed
+//!   contraction. The protocol under-matches relative to serial matching,
+//!   reproducing the paper's *slow coarsening* observation.
+//! * [`initial_par`] — coarsest-graph gather + replicated seeded serial
+//!   recursive bisection, best balanced cut wins.
+//! * [`refine_par`] — the paper's key contribution: **reservation-scheme
+//!   multi-constraint refinement** (propose → global reduction → randomised
+//!   disallow of the overflow portion → commit).
+//! * [`slice_refine`] — the rejected *slice allocation* scheme
+//!   (extra space ÷ p per processor), kept as the ablation baseline the
+//!   paper measures "up to 50 % worse" quality against.
+//! * [`kway_par`] — the full parallel driver.
+//!
+//! ```
+//! use mcgp_graph::generators::mrng_like;
+//! use mcgp_graph::synthetic;
+//! use mcgp_parallel::{parallel_partition_kway, ParallelConfig};
+//!
+//! let workload = synthetic::type1(&mrng_like(4000, 7), 3, 7);
+//! let cfg = ParallelConfig::new(8); // 8 logical processors, k = 8
+//! let result = parallel_partition_kway(&workload, 8, &cfg);
+//! assert!(result.quality.max_imbalance < 1.25);
+//! assert!(result.stats.supersteps > 0);
+//! ```
+
+pub mod coarsen_par;
+pub mod cost;
+pub mod dist;
+pub mod initial_par;
+pub mod kway_par;
+pub mod match_par;
+pub mod refine_par;
+pub mod slice_refine;
+
+pub use cost::{CostModel, CostTracker, RunStats};
+pub use dist::DistGraph;
+pub use kway_par::{parallel_partition_kway, ParallelConfig, ParallelResult, RefinerKind};

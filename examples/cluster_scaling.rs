@@ -1,0 +1,53 @@
+//! Scaling study on the simulated cluster: partition one workload across a
+//! range of processor counts and watch the BSP cost model reproduce the
+//! paper's scaling story — decaying efficiency at fixed size, recovered
+//! efficiency when the problem grows with the machine, and the ≈2× cost of
+//! multi-constraint over single-constraint partitioning.
+//!
+//! ```text
+//! cargo run --release --example cluster_scaling
+//! ```
+
+use mcgp::core::single::collapse_to_single;
+use mcgp::graph::generators::mrng_like;
+use mcgp::graph::synthetic;
+use mcgp::parallel::{parallel_partition_kway, ParallelConfig};
+
+fn main() {
+    let mesh = mrng_like(60_000, 3);
+    let workload = synthetic::type1(&mesh, 3, 3);
+    let single = collapse_to_single(&workload);
+
+    // Fixed k = 32 subdomains across all processor counts so that only the
+    // machine size varies (ParMETIS-style p != k runs).
+    let k = 32;
+    println!(
+        "graph: {} vertices, 3-constraint Type-1 workload, k = {k}\n",
+        workload.nvtxs()
+    );
+    println!("   p   modeled time   speedup   efficiency   supersteps   comm MB   1-con time");
+    println!("--------------------------------------------------------------------------------");
+    let mut base: Option<f64> = None;
+    for p in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let cfg = ParallelConfig::new(p);
+        let multi = parallel_partition_kway(&workload, k, &cfg);
+        let one = parallel_partition_kway(&single, k, &cfg);
+        let t = multi.stats.modeled_time_s;
+        let t0 = *base.get_or_insert(t);
+        let speedup = t0 / t;
+        println!(
+            "{:>4}   {:>9.3}s   {:>7.2}   {:>9.0}%   {:>10}   {:>7.2}   {:>9.3}s",
+            p,
+            t,
+            speedup,
+            100.0 * speedup / p as f64,
+            multi.stats.supersteps,
+            multi.stats.comm_bytes as f64 / 1e6,
+            one.stats.modeled_time_s,
+        );
+    }
+    println!(
+        "\nNote: times come from the BSP cost model (T3E-class constants); the host\n\
+         machine simulates every logical processor, so host wall-clock is unrelated."
+    );
+}

@@ -1,0 +1,42 @@
+//! Fill-reducing ordering: the *other* job of the library the paper builds
+//! on ("MeTiS: a software package for partitioning unstructured graphs ...
+//! and computing fill-reducing orderings of sparse matrices"). Nested
+//! dissection reuses the same multilevel bisection machinery the
+//! partitioner runs on.
+//!
+//! ```text
+//! cargo run --release --example sparse_ordering
+//! ```
+
+use mcgp::graph::generators::{grid_2d, mrng_like};
+use mcgp::order::{nested_dissection, symbolic_fill, OrderingConfig};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    println!("graph              ordering            fill (new nonzeros)");
+    println!("------------------------------------------------------------");
+    for (name, g) in [
+        ("grid 32x32".to_string(), grid_2d(32, 32)),
+        ("mrng mesh 2k".to_string(), mrng_like(2_000, 1)),
+    ] {
+        let natural: Vec<u32> = (0..g.nvtxs() as u32).collect();
+        let mut random = natural.clone();
+        random.shuffle(&mut rand_chacha::ChaCha8Rng::seed_from_u64(7));
+        let nd = nested_dissection(&g, &OrderingConfig::default());
+
+        let fills = [
+            ("natural", symbolic_fill(&g, &natural)),
+            ("random", symbolic_fill(&g, &random)),
+            ("nested dissection", symbolic_fill(&g, nd.perm())),
+        ];
+        for (ord, fill) in fills {
+            println!("{name:<18} {ord:<19} {fill:>12}");
+        }
+        println!();
+    }
+    println!(
+        "Sparse Cholesky work and memory follow the fill: nested dissection on a\n\
+         mesh keeps the factor near-linear where the natural order densifies it."
+    );
+}

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Summarise results/*.jsonl from `mcgp all` into EXPERIMENTS.md sections.
+
+Usage: python3 scripts/summarize_results.py results/
+Prints markdown to stdout; the repository's EXPERIMENTS.md appends it.
+"""
+import json
+import statistics
+import sys
+from pathlib import Path
+
+
+def load(dirpath, name):
+    p = Path(dirpath) / f"{name}.jsonl"
+    if not p.exists():
+        return []
+    return [json.loads(line) for line in p.read_text().splitlines() if line.strip()]
+
+
+def fig_section(rows, p):
+    cells = [r for r in rows if r["nprocs"] == p]
+    if not cells:
+        return f"*(no data for p = {p})*\n"
+    ratios = [r["ratio"] for r in cells]
+    balances = [r["balance"] for r in cells]
+    better = sum(1 for r in ratios if r < 1.0)
+    out = []
+    out.append(
+        f"- cut ratio (parallel / serial): mean **{statistics.mean(ratios):.3f}**, "
+        f"median {statistics.median(ratios):.3f}, range "
+        f"{min(ratios):.3f}–{max(ratios):.3f}; parallel beat serial in "
+        f"{better}/{len(ratios)} cells"
+    )
+    out.append(
+        f"- parallel balance: mean **{statistics.mean(balances):.3f}**, worst "
+        f"{max(balances):.3f} (tolerance 1.05 + vertex granularity)"
+    )
+    worst = max(cells, key=lambda r: r["ratio"])
+    best = min(cells, key=lambda r: r["ratio"])
+    out.append(
+        f"- best cell {best['graph']} `{best['label']}` ({best['ratio']:.3f}); "
+        f"worst cell {worst['graph']} `{worst['label']}` ({worst['ratio']:.3f})"
+    )
+    lv = [(r["levels_parallel"], r["levels_serial"]) for r in cells]
+    out.append(
+        f"- slow coarsening: parallel used {statistics.mean(x for x, _ in lv):.1f} "
+        f"levels on average vs serial {statistics.mean(y for _, y in lv):.1f} "
+        "(different coarsest-size targets; per-level matching efficiency is "
+        "tested separately)"
+    )
+    return "\n".join(out) + "\n"
+
+
+def table2_section(rows):
+    out = ["| k | serial (modeled s) | parallel (modeled s) | speedup |", "|---|---|---|---|"]
+    for r in rows:
+        out.append(
+            f"| {r['k']} | {r['serial_time_s']:.3f} | {r['parallel_time_s']:.3f} | "
+            f"{r['speedup']:.2f} |"
+        )
+    return "\n".join(out) + "\n"
+
+
+def scaling_section(rows, eff=True):
+    graphs = sorted({r["graph"] for r in rows})
+    procs = sorted({r["nprocs"] for r in rows})
+    head = "| graph | " + " | ".join(
+        (f"{p}p time / eff" if eff else f"{p}p time") for p in procs
+    ) + " |"
+    out = [head, "|" + "---|" * (len(procs) + 1)]
+    for g in graphs:
+        cells = []
+        for p in procs:
+            m = [r for r in rows if r["graph"] == g and r["nprocs"] == p]
+            if not m:
+                cells.append("-")
+            elif eff:
+                cells.append(f"{m[0]['time_s']:.3f} / {m[0]['efficiency'] * 100:.0f}%")
+            else:
+                cells.append(f"{m[0]['time_s']:.3f}")
+        out.append(f"| {g} | " + " | ".join(cells) + " |")
+    return "\n".join(out) + "\n"
+
+
+def main():
+    d = sys.argv[1] if len(sys.argv) > 1 else "results"
+    figures = load(d, "figures")
+    print("## Figures 3-5 — edge-cut normalised by serial + balance\n")
+    print(
+        "Paper: bars hover around 1.0 (the parallel algorithm matches the "
+        "serial cut, occasionally beating it); balance bars at ~1.05.\n"
+    )
+    for p, fig in [(32, "Figure 3"), (64, "Figure 4"), (128, "Figure 5")]:
+        print(f"### {fig} (p = {p})\n")
+        print(fig_section(figures, p))
+
+    t2 = load(d, "table2")
+    print("## Table 2 — serial vs parallel time, mrng1, 3-constraint\n")
+    print(
+        "Paper: \"only modest speedups ... because mrng1 is quite small, so "
+        "communication and parallel overheads are significant.\"\n"
+    )
+    print(table2_section(t2))
+
+    t3 = load(d, "table3")
+    print("\n## Table 3 — parallel times and efficiencies, 3-constraint Type 1\n")
+    print(
+        "Paper: efficiencies 20-94%, good (70-90%) when the graph is large "
+        "relative to p, decaying for small graphs on many processors.\n"
+    )
+    print(scaling_section(t3, eff=True))
+    iso = load(d, "table3_iso")
+    if iso:
+        print("\nIsoefficiency checks (graph x4 with processors x2):\n")
+        for r in iso:
+            print(
+                f"- {r['small']} eff {r['eff_small']*100:.0f}%  ->  "
+                f"{r['large']} eff {r['eff_large']*100:.0f}%"
+            )
+
+    t4 = load(d, "table4")
+    print("\n## Table 4 — single-constraint parallel times\n")
+    print(
+        "Paper: the 3-constraint partitioner takes about twice as long as "
+        "the single-constraint one, and scales slightly better.\n"
+    )
+    print(scaling_section(t4, eff=False))
+    if t3 and t4:
+        pairs = []
+        for r3 in t3:
+            for r4 in t4:
+                if r3["graph"] == r4["graph"] and r3["nprocs"] == r4["nprocs"]:
+                    pairs.append(r3["time_s"] / r4["time_s"])
+        if pairs:
+            print(
+                f"\nMeasured multi/single time ratio: mean "
+                f"**{statistics.mean(pairs):.2f}x** over {len(pairs)} cells "
+                "(paper: ~2x for 3 constraints)."
+            )
+
+    a1 = load(d, "ablation_slices")
+    print("\n## Ablation A1 — slice allocation vs reservation refinement\n")
+    print(
+        "Paper (Section 2): slice-style allocation schemes \"produce "
+        "partitionings that are up to 50% worse in quality than the serial "
+        "multi-constraint algorithm.\"\n"
+    )
+    if a1:
+        print("| graph | problem | p | reservation/serial | slice/serial |")
+        print("|---|---|---|---|---|")
+        for r in a1:
+            print(
+                f"| {r['graph']} | {r['label']} | {r['nprocs']} | "
+                f"{r['reservation_ratio']:.3f} | {r['slice_ratio']:.3f} |"
+            )
+        worst = max(r["slice_ratio"] for r in a1)
+        print(f"\nWorst slice/serial ratio observed: **{worst:.2f}** (paper: up to 1.5).")
+
+    a2 = load(d, "ablation_imbalance")
+    print("\n## Ablation A2 — recoverability of initial imbalance\n")
+    print(
+        "Paper (Section 4): an initial partitioning more than ~20% imbalanced "
+        "is unlikely to be repaired by multilevel refinement.\n"
+    )
+    if a2:
+        print("| injected imbalance | final imbalance | cut ratio |")
+        print("|---|---|---|")
+        for r in a2:
+            print(
+                f"| {r['injected']:.2f} | {r['final_imbalance']:.3f} | "
+                f"{r['cut_ratio']:.3f} |"
+            )
+
+    a3 = load(d, "ablation_constraints")
+    print("\n## Ablation A3 — quality vs number of constraints\n")
+    print(
+        "Paper (Section 4): quality is good for 2-4 constraints and \"can "
+        "drop off dramatically\" as m grows.\n"
+    )
+    if a3:
+        print("| m | cut / cut(m=1) | balance |")
+        print("|---|---|---|")
+        for r in a3:
+            print(f"| {r['ncon']} | {r['cut_ratio']:.3f} | {r['balance']:.3f} |")
+
+    ad = load(d, "adaptive")
+    if ad:
+        print("\n## Extension E1 — adaptive repartitioning\n")
+        print("| method | step | cut | balance | moved vertices |")
+        print("|---|---|---|---|---|")
+        for r in ad:
+            print(
+                f"| {r['method']} | {r['step']} | {r['cut']} | "
+                f"{r['balance']:.3f} | {r['moved']} |"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -4,9 +4,8 @@
 
 use mcgp_graph::connectivity::bfs_order;
 use mcgp_graph::Graph;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::rng::SliceRandom;
+use mcgp_runtime::rng::Rng;
 
 /// An evolving 2-constraint workload over a fixed mesh: constraint 0 is
 /// uniform background work; constraint 1 is a heavy plume covering
@@ -25,7 +24,7 @@ impl EvolvingWorkload {
     pub fn new(mesh: Graph, plume_fraction: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&plume_fraction));
         let n = mesh.nvtxs();
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut centres: Vec<u32> = (0..n as u32).collect();
         centres.shuffle(&mut rng);
         let plume_size = ((n as f64) * plume_fraction).round().max(1.0) as usize;

@@ -4,7 +4,7 @@
 use mcgp_graph::{Graph, Partition};
 
 /// Migration cost of switching from `old` to `new`.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MigrationCost {
     /// Vertices whose subdomain changed.
     pub moved_vertices: usize,
@@ -14,6 +14,8 @@ pub struct MigrationCost {
     /// Fraction of vertices that moved.
     pub moved_fraction_millis: u32,
 }
+
+mcgp_runtime::impl_to_json!(MigrationCost { moved_vertices, moved_weight, moved_fraction_millis });
 
 /// Computes the migration cost between two assignments of the same graph.
 ///

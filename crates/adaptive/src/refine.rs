@@ -8,8 +8,7 @@ use mcgp_core::balance::{part_weights, rebalance, BalanceModel};
 use mcgp_core::kway_refine::greedy_kway_refine;
 use mcgp_core::PartitionConfig;
 use mcgp_graph::{Graph, Partition};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::rng::Rng;
 
 /// Repairs `old` in place under `graph`'s (evolved) weights.
 pub fn refine_repartition(
@@ -21,7 +20,7 @@ pub fn refine_repartition(
     let mut assignment = old.assignment().to_vec();
     let model = BalanceModel::new(graph, nparts, config.imbalance_tol);
     let mut pw = part_weights(graph, &assignment, nparts);
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xADA7);
+    let mut rng = Rng::seed_from_u64(config.seed ^ 0xADA7);
     // Alternate balancing and refinement until the caps hold (bounded).
     for _ in 0..4 {
         if !model.is_balanced(&pw) {

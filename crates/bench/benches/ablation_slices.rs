@@ -1,29 +1,20 @@
 //! Bench for ablation A1: the reservation refinement vs the rejected
 //! slice-allocation refinement inside the full parallel pipeline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcgp_bench::Bench;
 use mcgp_graph::generators::mrng_like;
 use mcgp_graph::synthetic;
 use mcgp_parallel::{parallel_partition_kway, ParallelConfig, RefinerKind};
 
-fn bench_refiners(c: &mut Criterion) {
+fn main() {
+    let b = Bench::from_args();
     let mesh = mrng_like(8_000, 3);
     let wg = synthetic::type1(&mesh, 3, 1);
-    let mut g = c.benchmark_group("ablation/refiners_p32");
-    g.sample_size(10);
     for refiner in [RefinerKind::Reservation, RefinerKind::Slice] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{refiner:?}")),
-            &refiner,
-            |b, &r| {
-                let mut cfg = ParallelConfig::new(32);
-                cfg.refiner = r;
-                b.iter(|| parallel_partition_kway(&wg, 32, &cfg));
-            },
-        );
+        let mut cfg = ParallelConfig::new(32);
+        cfg.refiner = refiner;
+        b.run("ablation/refiners_p32", &format!("{refiner:?}"), || {
+            parallel_partition_kway(&wg, 32, &cfg)
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_refiners);
-criterion_main!(benches);

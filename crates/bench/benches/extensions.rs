@@ -1,47 +1,34 @@
 //! Benchmarks of the extension crates: nested-dissection ordering and
 //! adaptive repartitioning.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcgp_adaptive::evolve::EvolvingWorkload;
 use mcgp_adaptive::{repartition, RepartitionMethod};
+use mcgp_bench::Bench;
 use mcgp_core::{partition_kway, PartitionConfig};
 use mcgp_graph::generators::mrng_like;
 use mcgp_order::{nested_dissection, symbolic_fill, OrderingConfig};
 
-fn bench_ordering(c: &mut Criterion) {
+fn main() {
+    let b = Bench::from_args();
+
     let g = mrng_like(4_000, 1);
-    let mut group = c.benchmark_group("extensions/ordering");
-    group.sample_size(10);
-    group.bench_function("nested_dissection_4k", |b| {
-        b.iter(|| nested_dissection(&g, &OrderingConfig::default()));
+    b.run("extensions/ordering", "nested_dissection_4k", || {
+        nested_dissection(&g, &OrderingConfig::default())
     });
     let ord = nested_dissection(&g, &OrderingConfig::default());
-    group.bench_function("symbolic_fill_4k", |b| {
-        b.iter(|| symbolic_fill(&g, ord.perm()));
+    b.run("extensions/ordering", "symbolic_fill_4k", || {
+        symbolic_fill(&g, ord.perm())
     });
-    group.finish();
-}
 
-fn bench_adaptive(c: &mut Criterion) {
     let mesh = mrng_like(8_000, 2);
     let cfg = PartitionConfig::default();
     let mut ev = EvolvingWorkload::new(mesh, 0.15, 3);
     let first = ev.next_workload();
     let old = partition_kway(&first, 16, &cfg).partition;
     let next = ev.next_workload();
-    let mut group = c.benchmark_group("extensions/adaptive");
-    group.sample_size(10);
     for method in [RepartitionMethod::ScratchRemap, RepartitionMethod::Refine] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{method:?}")),
-            &method,
-            |b, &m| {
-                b.iter(|| repartition(&next, &old, 16, m, &cfg));
-            },
-        );
+        b.run("extensions/adaptive", &format!("{method:?}"), || {
+            repartition(&next, &old, 16, method, &cfg)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ordering, bench_adaptive);
-criterion_main!(benches);

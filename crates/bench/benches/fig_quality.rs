@@ -2,27 +2,22 @@
 //! multi-constraint partitioning on one `m cons t` cell (the full figure
 //! sweep lives in `mcgp figures`; this measures the per-cell cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcgp_bench::Bench;
 use mcgp_core::{partition_kway, PartitionConfig};
 use mcgp_graph::generators::mrng_like;
 use mcgp_graph::synthetic;
 use mcgp_parallel::{parallel_partition_kway, ParallelConfig};
 
-fn bench_cell(c: &mut Criterion) {
+fn main() {
+    let b = Bench::from_args();
     let mesh = mrng_like(8_000, 1);
-    let mut g = c.benchmark_group("figures/cell_mrng1_p32");
-    g.sample_size(10);
-    for &ncon in &[2usize, 3, 5] {
+    for ncon in [2usize, 3, 5] {
         let wg = synthetic::type1(&mesh, ncon, 1);
-        g.bench_with_input(BenchmarkId::new("serial", ncon), &wg, |b, wg| {
-            b.iter(|| partition_kway(wg, 32, &PartitionConfig::default()));
+        b.run("figures/cell_mrng1_p32", &format!("serial/{ncon}"), || {
+            partition_kway(&wg, 32, &PartitionConfig::default())
         });
-        g.bench_with_input(BenchmarkId::new("parallel", ncon), &wg, |b, wg| {
-            b.iter(|| parallel_partition_kway(wg, 32, &ParallelConfig::new(32)));
+        b.run("figures/cell_mrng1_p32", &format!("parallel/{ncon}"), || {
+            parallel_partition_kway(&wg, 32, &ParallelConfig::new(32))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_cell);
-criterion_main!(benches);

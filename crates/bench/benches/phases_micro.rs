@@ -2,7 +2,7 @@
 //! FM, k-way refinement, and the parallel reservation refinement — the
 //! per-phase breakdown behind every table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcgp_bench::Bench;
 use mcgp_core::balance::{part_weights, BalanceModel};
 use mcgp_core::coarsen::contract;
 use mcgp_core::config::{MatchingScheme, PartitionConfig};
@@ -14,115 +14,56 @@ use mcgp_graph::generators::mrng_like;
 use mcgp_graph::synthetic;
 use mcgp_parallel::refine_par::reservation_refine;
 use mcgp_parallel::{CostTracker, DistGraph};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::rng::Rng;
 
-fn bench_matching(c: &mut Criterion) {
-    let wg = synthetic::type1(&mrng_like(16_000, 1), 3, 1);
-    let mut g = c.benchmark_group("micro/matching");
-    g.sample_size(10);
+fn main() {
+    let b = Bench::from_args();
+
+    let wg16 = synthetic::type1(&mrng_like(16_000, 1), 3, 1);
     for scheme in [
         MatchingScheme::Random,
         MatchingScheme::HeavyEdge,
         MatchingScheme::BalancedHeavyEdge,
     ] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{scheme:?}")),
-            &scheme,
-            |b, &s| {
-                b.iter(|| {
-                    let mut rng = ChaCha8Rng::seed_from_u64(1);
-                    match_graph(&wg, s, &mut rng)
-                });
-            },
-        );
+        b.run("micro/matching", &format!("{scheme:?}"), || {
+            let mut rng = Rng::seed_from_u64(1);
+            match_graph(&wg16, scheme, &mut rng)
+        });
     }
-    g.finish();
-}
 
-fn bench_contraction(c: &mut Criterion) {
-    let wg = synthetic::type1(&mrng_like(16_000, 1), 3, 1);
-    let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let m = match_graph(&wg, MatchingScheme::BalancedHeavyEdge, &mut rng);
-    let mut g = c.benchmark_group("micro/contraction");
-    g.sample_size(10);
-    g.bench_function("contract_16k", |b| b.iter(|| contract(&wg, &m)));
-    g.finish();
-}
+    let mut rng = Rng::seed_from_u64(1);
+    let m = match_graph(&wg16, MatchingScheme::BalancedHeavyEdge, &mut rng);
+    b.run("micro/contraction", "contract_16k", || contract(&wg16, &m));
 
-fn bench_fm2way(c: &mut Criterion) {
-    let wg = synthetic::type1(&mrng_like(4_000, 1), 3, 1);
+    let wg4 = synthetic::type1(&mrng_like(4_000, 1), 3, 1);
     let cfg = PartitionConfig::default();
-    let mut g = c.benchmark_group("micro/fm2way");
-    g.sample_size(10);
-    g.bench_function("refine_random_start", |b| {
-        b.iter(|| {
-            let mut rng = ChaCha8Rng::seed_from_u64(2);
-            let mut side: Vec<u32> = (0..wg.nvtxs()).map(|v| (v % 2) as u32).collect();
-            fm_refine_bisection(&wg, &mut side, (0.5, 0.5), &cfg, &mut rng)
-        });
+    b.run("micro/fm2way", "refine_random_start", || {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut side: Vec<u32> = (0..wg4.nvtxs()).map(|v| (v % 2) as u32).collect();
+        fm_refine_bisection(&wg4, &mut side, (0.5, 0.5), &cfg, &mut rng)
     });
-    g.finish();
-}
 
-fn bench_kway_refine(c: &mut Criterion) {
-    let wg = synthetic::type1(&mrng_like(8_000, 1), 3, 1);
-    let model = BalanceModel::new(&wg, 8, 0.05);
-    let start: Vec<u32> = (0..wg.nvtxs()).map(|v| (v % 8) as u32).collect();
-    let mut g = c.benchmark_group("micro/kway_refine");
-    g.sample_size(10);
-    g.bench_function("greedy_8way", |b| {
-        b.iter(|| {
-            let mut rng = ChaCha8Rng::seed_from_u64(3);
-            let mut a = start.clone();
-            let mut pw = part_weights(&wg, &a, 8);
-            greedy_kway_refine(&wg, &mut a, &mut pw, &model, 4, &mut rng)
-        });
+    let wg8 = synthetic::type1(&mrng_like(8_000, 1), 3, 1);
+    let model = BalanceModel::new(&wg8, 8, 0.05);
+    let start: Vec<u32> = (0..wg8.nvtxs()).map(|v| (v % 8) as u32).collect();
+    b.run("micro/kway_refine", "greedy_8way", || {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut a = start.clone();
+        let mut pw = part_weights(&wg8, &a, 8);
+        greedy_kway_refine(&wg8, &mut a, &mut pw, &model, 4, &mut rng)
     });
-    g.finish();
-}
 
-fn bench_reservation(c: &mut Criterion) {
-    let wg = synthetic::type1(&mrng_like(8_000, 1), 3, 1);
-    let d = DistGraph::distribute(&wg, 16);
-    let model = BalanceModel::new(&wg, 8, 0.05);
-    let start: Vec<u32> = (0..wg.nvtxs()).map(|v| (v % 8) as u32).collect();
-    let mut g = c.benchmark_group("micro/reservation_refine");
-    g.sample_size(10);
-    g.bench_function("p16_8way", |b| {
-        b.iter(|| {
-            let mut part = start.clone();
-            let mut pw = part_weights(&wg, &part, 8);
-            let mut t = CostTracker::new();
-            reservation_refine(&d, &mut part, &mut pw, &model, 4, 1, &mut t)
-        });
+    b.run("micro/kway_refine_pq", "gain_ordered_8way", || {
+        let mut a = start.clone();
+        let mut pw = part_weights(&wg8, &a, 8);
+        pq_kway_refine(&wg8, &mut a, &mut pw, &model, 4)
     });
-    g.finish();
-}
 
-fn bench_kway_refine_pq(c: &mut Criterion) {
-    let wg = synthetic::type1(&mrng_like(8_000, 1), 3, 1);
-    let model = BalanceModel::new(&wg, 8, 0.05);
-    let start: Vec<u32> = (0..wg.nvtxs()).map(|v| (v % 8) as u32).collect();
-    let mut g = c.benchmark_group("micro/kway_refine_pq");
-    g.sample_size(10);
-    g.bench_function("gain_ordered_8way", |b| {
-        b.iter(|| {
-            let mut a = start.clone();
-            let mut pw = part_weights(&wg, &a, 8);
-            pq_kway_refine(&wg, &mut a, &mut pw, &model, 4)
-        });
+    let d = DistGraph::distribute(&wg8, 16);
+    b.run("micro/reservation_refine", "p16_8way", || {
+        let mut part = start.clone();
+        let mut pw = part_weights(&wg8, &part, 8);
+        let mut t = CostTracker::new();
+        reservation_refine(&d, &mut part, &mut pw, &model, 4, 1, &mut t)
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_matching,
-    bench_contraction,
-    bench_fm2way,
-    bench_kway_refine,
-    bench_kway_refine_pq,
-    bench_reservation
-);
-criterion_main!(benches);

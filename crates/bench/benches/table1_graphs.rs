@@ -1,35 +1,22 @@
 //! Bench for Table 1's substrate: generation of the `mrng`-like evaluation
 //! graphs and the Type-1/Type-2 workload synthesis on them.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcgp_bench::Bench;
 use mcgp_graph::generators::mrng_like;
 use mcgp_graph::synthetic;
 
-fn bench_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1/mrng_generation");
-    g.sample_size(10);
-    for &n in &[4_000usize, 16_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| mrng_like(n, 1));
-        });
+fn main() {
+    let b = Bench::from_args();
+    for n in [4_000usize, 16_000] {
+        b.run("table1/mrng_generation", &n.to_string(), || mrng_like(n, 1));
     }
-    g.finish();
-}
-
-fn bench_synthesis(c: &mut Criterion) {
     let mesh = mrng_like(16_000, 1);
-    let mut g = c.benchmark_group("table1/workload_synthesis");
-    g.sample_size(10);
-    for &ncon in &[2usize, 5] {
-        g.bench_with_input(BenchmarkId::new("type1", ncon), &ncon, |b, &m| {
-            b.iter(|| synthetic::type1(&mesh, m, 1));
+    for ncon in [2usize, 5] {
+        b.run("table1/workload_synthesis", &format!("type1/{ncon}"), || {
+            synthetic::type1(&mesh, ncon, 1)
         });
-        g.bench_with_input(BenchmarkId::new("type2", ncon), &ncon, |b, &m| {
-            b.iter(|| synthetic::type2(&mesh, m, 1));
+        b.run("table1/workload_synthesis", &format!("type2/{ncon}"), || {
+            synthetic::type2(&mesh, ncon, 1)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_generation, bench_synthesis);
-criterion_main!(benches);

@@ -2,26 +2,21 @@
 //! through one logical processor (the serial baseline) and through k = p
 //! processors.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcgp_bench::Bench;
 use mcgp_graph::generators::mrng_like;
 use mcgp_graph::synthetic;
 use mcgp_parallel::{parallel_partition_kway, ParallelConfig};
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
+    let b = Bench::from_args();
     let mesh = mrng_like(8_000, 1);
     let wg = synthetic::type1(&mesh, 3, 1);
-    let mut g = c.benchmark_group("table2/mrng1_3con");
-    g.sample_size(10);
-    for &k in &[8usize, 32] {
-        g.bench_with_input(BenchmarkId::new("p1", k), &k, |b, &k| {
-            b.iter(|| parallel_partition_kway(&wg, k, &ParallelConfig::new(1)));
+    for k in [8usize, 32] {
+        b.run("table2/mrng1_3con", &format!("p1/{k}"), || {
+            parallel_partition_kway(&wg, k, &ParallelConfig::new(1))
         });
-        g.bench_with_input(BenchmarkId::new("pk", k), &k, |b, &k| {
-            b.iter(|| parallel_partition_kway(&wg, k, &ParallelConfig::new(k)));
+        b.run("table2/mrng1_3con", &format!("pk/{k}"), || {
+            parallel_partition_kway(&wg, k, &ParallelConfig::new(k))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

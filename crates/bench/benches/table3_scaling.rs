@@ -2,23 +2,18 @@
 //! across processor counts (host simulation time; the table's modeled times
 //! come from the BSP cost accounting inside each run).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcgp_bench::Bench;
 use mcgp_graph::generators::mrng_like;
 use mcgp_graph::synthetic;
 use mcgp_parallel::{parallel_partition_kway, ParallelConfig};
 
-fn bench_table3(c: &mut Criterion) {
+fn main() {
+    let b = Bench::from_args();
     let mesh = mrng_like(16_000, 2); // mrng2-scale stand-in
     let wg = synthetic::type1(&mesh, 3, 1);
-    let mut g = c.benchmark_group("table3/mrng2_3con");
-    g.sample_size(10);
-    for &p in &[8usize, 32, 128] {
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| parallel_partition_kway(&wg, p, &ParallelConfig::new(p)));
+    for p in [8usize, 32, 128] {
+        b.run("table3/mrng2_3con", &p.to_string(), || {
+            parallel_partition_kway(&wg, p, &ParallelConfig::new(p))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

@@ -2,28 +2,23 @@
 //! the 3-constraint partitioner on the same mesh (the paper's "about twice
 //! as long" comparison).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcgp_bench::Bench;
 use mcgp_core::single::collapse_to_single;
 use mcgp_graph::generators::mrng_like;
 use mcgp_graph::synthetic;
 use mcgp_parallel::{parallel_partition_kway, ParallelConfig};
 
-fn bench_table4(c: &mut Criterion) {
+fn main() {
+    let b = Bench::from_args();
     let mesh = mrng_like(16_000, 2);
     let multi = synthetic::type1(&mesh, 3, 1);
     let single = collapse_to_single(&multi);
-    let mut g = c.benchmark_group("table4/single_vs_multi");
-    g.sample_size(10);
-    for &p in &[8usize, 32] {
-        g.bench_with_input(BenchmarkId::new("1con", p), &p, |b, &p| {
-            b.iter(|| parallel_partition_kway(&single, p, &ParallelConfig::new(p)));
+    for p in [8usize, 32] {
+        b.run("table4/single_vs_multi", &format!("1con/{p}"), || {
+            parallel_partition_kway(&single, p, &ParallelConfig::new(p))
         });
-        g.bench_with_input(BenchmarkId::new("3con", p), &p, |b, &p| {
-            b.iter(|| parallel_partition_kway(&multi, p, &ParallelConfig::new(p)));
+        b.run("table4/single_vs_multi", &format!("3con/{p}"), || {
+            parallel_partition_kway(&multi, p, &ParallelConfig::new(p))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table4);
-criterion_main!(benches);

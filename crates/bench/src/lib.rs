@@ -1,2 +1,121 @@
-//! Benchmark support crate: the actual benchmarks live in `benches/`, one
-//! per paper table/figure (see `Cargo.toml` targets).
+//! Self-contained benchmark harness for the paper-table benchmarks in
+//! `benches/` (one target per table/figure, see `Cargo.toml`).
+//!
+//! Each benchmark binary builds a [`Bench`] from its command line, then
+//! times closures with [`Bench::run`]: one warmup call, a fixed number of
+//! timed samples, and one JSONL record per benchmark on stdout
+//! (median/min/max wall seconds) with a human-readable line on stderr.
+//! Runs are plain wall-clock medians — no statistical machinery, no
+//! external dependencies — which is enough to track order-of-magnitude
+//! regressions in the partitioning phases.
+
+use mcgp_runtime::Json;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A benchmark session: sample count and an optional name filter.
+pub struct Bench {
+    samples: usize,
+    filter: Option<String>,
+}
+
+impl Bench {
+    /// Builds a session from the process arguments, as `cargo bench`
+    /// invokes a `harness = false` target: `--samples <n>` overrides the
+    /// default of 10, a bare argument filters benchmarks by substring of
+    /// `group/name`, and cargo's own flags (`--bench`, `--exact`) are
+    /// ignored.
+    pub fn from_args() -> Bench {
+        let mut samples = 10usize;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--samples" => {
+                    samples = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or(samples)
+                }
+                "--bench" | "--exact" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Bench { samples, filter }
+    }
+
+    /// Session with an explicit sample count (tests).
+    pub fn with_samples(samples: usize) -> Bench {
+        Bench {
+            samples: samples.max(1),
+            filter: None,
+        }
+    }
+
+    /// Times `f`: one warmup call, then `samples` timed calls. Emits the
+    /// `group/name` record as one JSONL line on stdout and a summary line
+    /// on stderr. Returns the median seconds (`None` when filtered out).
+    pub fn run<T>(&self, group: &str, name: &str, mut f: impl FnMut() -> T) -> Option<f64> {
+        let id = format!("{group}/{name}");
+        if let Some(flt) = &self.filter {
+            if !id.contains(flt.as_str()) {
+                return None;
+            }
+        }
+        black_box(f()); // warmup
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let median = if times.len() % 2 == 1 {
+            times[times.len() / 2]
+        } else {
+            (times[times.len() / 2 - 1] + times[times.len() / 2]) / 2.0
+        };
+        let (min, max) = (times[0], *times.last().unwrap());
+        let record = Json::obj([
+            ("bench", Json::Str(id.clone())),
+            ("samples", Json::UInt(self.samples as u64)),
+            ("median_s", Json::Float(median)),
+            ("min_s", Json::Float(min)),
+            ("max_s", Json::Float(max)),
+        ]);
+        println!("{record}");
+        eprintln!("{id:<44} median {median:>9.4}s  min {min:>9.4}s  max {max:>9.4}s  n={}", self.samples);
+        Some(median)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_reports_a_positive_median() {
+        let b = Bench::with_samples(3);
+        let m = b.run("test", "spin", || {
+            let mut x = 0u64;
+            for i in 0..1000 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert!(m.is_some_and(|m| m >= 0.0));
+    }
+
+    #[test]
+    fn filter_skips_nonmatching_names() {
+        let b = Bench {
+            samples: 1,
+            filter: Some("only-this".to_string()),
+        };
+        assert!(b.run("test", "other", || 1).is_none());
+        assert!(b.run("test", "only-this", || 1).is_some());
+    }
+}

@@ -10,8 +10,8 @@
 //! tolerance, exactly as the multilevel paradigm intends.
 
 use mcgp_graph::Graph;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use mcgp_runtime::rng::SliceRandom;
+use mcgp_runtime::rng::Rng;
 
 /// Flattened `nparts × ncon` subdomain weights for an assignment.
 pub fn part_weights(graph: &Graph, assignment: &[u32], nparts: usize) -> Vec<i64> {
@@ -167,7 +167,7 @@ pub fn rebalance(
     assignment: &mut [u32],
     pw: &mut [i64],
     model: &BalanceModel,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> bool {
     let ncon = graph.ncon();
     let nparts = model.nparts();
@@ -296,8 +296,7 @@ mod tests {
     use super::*;
     use mcgp_graph::generators::grid_2d;
     use mcgp_graph::synthetic;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use mcgp_runtime::rng::Rng;
 
     #[test]
     fn part_weights_accumulate() {
@@ -365,7 +364,7 @@ mod tests {
         let mut assignment = vec![0u32; 64];
         let model = BalanceModel::new(&g, 2, 0.05);
         let mut pw = part_weights(&g, &assignment, 2);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         assert!(rebalance(&g, &mut assignment, &mut pw, &model, &mut rng));
         assert!(model.is_balanced(&pw));
         assert_eq!(
@@ -381,7 +380,7 @@ mod tests {
         let mut assignment: Vec<u32> = (0..144u32).map(|v| if v < 40 { 1 } else { 0 }).collect();
         let model = BalanceModel::new(&g, 4, 0.05);
         let mut pw = part_weights(&g, &assignment, 4);
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let ok = rebalance(&g, &mut assignment, &mut pw, &model, &mut rng);
         assert!(ok, "rebalance failed to reach feasibility");
         assert!(model.is_balanced(&pw));
@@ -394,7 +393,7 @@ mod tests {
         let model = BalanceModel::new(&g, 2, 0.05);
         let mut pw = part_weights(&g, &assignment, 2);
         let before = assignment.clone();
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         assert!(rebalance(&g, &mut assignment, &mut pw, &model, &mut rng));
         assert_eq!(before, assignment);
     }

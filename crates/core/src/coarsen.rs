@@ -10,7 +10,7 @@ use crate::config::PartitionConfig;
 use crate::matching::{match_graph, GraphMatching};
 use mcgp_graph::csr::Vertex;
 use mcgp_graph::Graph;
-use rand::Rng;
+use mcgp_runtime::rng::Rng;
 
 /// One coarsening step: the coarse graph and the fine→coarse vertex map.
 #[derive(Clone, Debug)]
@@ -136,7 +136,7 @@ pub fn coarsen(
     graph: &Graph,
     target: usize,
     config: &PartitionConfig,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> CoarsenHierarchy {
     const MAX_LEVELS: usize = 64;
     let mut levels: Vec<CoarseLevel> = Vec::new();
@@ -166,11 +166,10 @@ mod tests {
     use mcgp_graph::csr::GraphBuilder;
     use mcgp_graph::generators::{grid_2d, mrng_like};
     use mcgp_graph::synthetic;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use mcgp_runtime::rng::Rng;
 
-    fn rng(seed: u64) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Rng {
+        Rng::seed_from_u64(seed)
     }
 
     #[test]

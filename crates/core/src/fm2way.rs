@@ -15,8 +15,8 @@
 use crate::config::PartitionConfig;
 use crate::pqueue::IndexedMaxHeap;
 use mcgp_graph::Graph;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use mcgp_runtime::rng::SliceRandom;
+use mcgp_runtime::rng::Rng;
 
 /// Balance bookkeeping for a (possibly uneven) bisection with target
 /// fractions `(f0, f1)`, `f0 + f1 = 1`.
@@ -163,11 +163,12 @@ pub struct FmStats {
 /// ```
 /// use mcgp_core::{fm2way::fm_refine_bisection, PartitionConfig};
 /// use mcgp_graph::generators::grid_2d;
-/// use rand::SeedableRng as _;
+/// use mcgp_runtime::rng::Rng;
+///
 /// let g = grid_2d(8, 8);
 /// // A deliberately bad alternating split...
 /// let mut side: Vec<u32> = (0..64).map(|v| (v % 2) as u32).collect();
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut rng = Rng::seed_from_u64(1);
 /// let stats = fm_refine_bisection(&g, &mut side, (0.5, 0.5), &PartitionConfig::default(), &mut rng);
 /// // ...is repaired to something near the optimal 8-edge cut.
 /// assert!(stats.cut <= 16);
@@ -177,7 +178,7 @@ pub fn fm_refine_bisection(
     side: &mut [u32],
     fractions: (f64, f64),
     config: &PartitionConfig,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> FmStats {
     let n = graph.nvtxs();
     let ncon = graph.ncon();
@@ -367,11 +368,10 @@ mod tests {
     use super::*;
     use mcgp_graph::generators::grid_2d;
     use mcgp_graph::synthetic;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use mcgp_runtime::rng::Rng;
 
-    fn rng(seed: u64) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Rng {
+        Rng::seed_from_u64(seed)
     }
 
     fn random_side(n: usize, seed: u64) -> Vec<u32> {

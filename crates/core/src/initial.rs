@@ -22,12 +22,12 @@ use crate::config::PartitionConfig;
 use crate::fm2way::{cut_of, fm_refine_bisection, TwoWayBalance};
 use crate::pqueue::IndexedMaxHeap;
 use mcgp_graph::Graph;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use mcgp_runtime::rng::SliceRandom;
+use mcgp_runtime::rng::Rng;
 
 /// Grows side 0 greedily to `fraction` of every constraint. Returns the
 /// side assignment (0 = grown region, 1 = remainder).
-pub fn greedy_grow(graph: &Graph, fraction: f64, tol: f64, rng: &mut impl Rng) -> Vec<u32> {
+pub fn greedy_grow(graph: &Graph, fraction: f64, tol: f64, rng: &mut Rng) -> Vec<u32> {
     let n = graph.nvtxs();
     let ncon = graph.ncon();
     let bal = TwoWayBalance::new(graph, (fraction, 1.0 - fraction), tol);
@@ -106,7 +106,7 @@ pub fn greedy_grow(graph: &Graph, fraction: f64, tol: f64, rng: &mut impl Rng) -
 
 /// Places vertices one by one (decreasing dominant normalised weight) on
 /// the side whose resulting worst relative load is smallest.
-pub fn bin_packing(graph: &Graph, fraction: f64, rng: &mut impl Rng) -> Vec<u32> {
+pub fn bin_packing(graph: &Graph, fraction: f64, rng: &mut Rng) -> Vec<u32> {
     let n = graph.nvtxs();
     let ncon = graph.ncon();
     let tot = graph.total_vwgt();
@@ -166,7 +166,7 @@ pub fn initial_bisection(
     graph: &Graph,
     fraction: f64,
     config: &PartitionConfig,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> Vec<u32> {
     let bal = TwoWayBalance::new(graph, (fraction, 1.0 - fraction), config.imbalance_tol);
     let tries = config.init_tries.max(1);
@@ -205,11 +205,10 @@ mod tests {
     use super::*;
     use mcgp_graph::generators::{grid_2d, mrng_like};
     use mcgp_graph::synthetic;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use mcgp_runtime::rng::Rng;
 
-    fn rng(seed: u64) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Rng {
+        Rng::seed_from_u64(seed)
     }
 
     #[test]

@@ -9,8 +9,8 @@ use crate::kway_refine::greedy_kway_refine;
 use crate::rb::recursive_bisection_assignment;
 use crate::PartitionResult;
 use mcgp_graph::Graph;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::phase::{timed, Phase};
+use mcgp_runtime::rng::Rng;
 
 /// Computes a k-way multi-constraint partition with the multilevel k-way
 /// algorithm. This is the serial baseline of every experiment in the paper.
@@ -20,20 +20,24 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
     if nparts == 1 {
         return PartitionResult::measure(graph, vec![0; graph.nvtxs()], 1, 0);
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
 
     // Phase 1: coarsening.
-    let hierarchy = coarsen(graph, config.coarsen_target(nparts), config, &mut rng);
+    let hierarchy = timed(Phase::Coarsen, || {
+        coarsen(graph, config.coarsen_target(nparts), config, &mut rng)
+    });
     let levels = hierarchy.nlevels();
     let coarsest = hierarchy.coarsest().unwrap_or(graph);
 
     // Phase 2: initial partitioning of the coarsest graph via recursive
     // bisection.
-    let mut assignment = recursive_bisection_assignment(coarsest, nparts, config, &mut rng);
+    let mut assignment = timed(Phase::Initial, || {
+        recursive_bisection_assignment(coarsest, nparts, config, &mut rng)
+    });
 
     // Phase 3: uncoarsening with refinement (and explicit balancing when a
     // level starts outside the caps).
-    let refine_on = |g: &Graph, assignment: &mut Vec<u32>, rng: &mut ChaCha8Rng| {
+    let refine_on = |g: &Graph, assignment: &mut Vec<u32>, rng: &mut Rng| {
         let model = BalanceModel::new(g, nparts, config.imbalance_tol);
         let mut pw = part_weights(g, assignment, nparts);
         if !model.is_balanced(&pw) {
@@ -43,20 +47,20 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
     };
 
     // Refine the initial partitioning on the coarsest graph itself.
-    refine_on(coarsest, &mut assignment, &mut rng);
-    for lvl in (0..levels).rev() {
-        assignment = hierarchy.project(lvl, &assignment);
-        let finer = if lvl == 0 {
-            graph
-        } else {
-            &hierarchy.levels()[lvl - 1].graph
-        };
-        refine_on(finer, &mut assignment, &mut rng);
-    }
+    timed(Phase::Refine, || {
+        refine_on(coarsest, &mut assignment, &mut rng);
+        for lvl in (0..levels).rev() {
+            assignment = hierarchy.project(lvl, &assignment);
+            let finer = if lvl == 0 {
+                graph
+            } else {
+                &hierarchy.levels()[lvl - 1].graph
+            };
+            refine_on(finer, &mut assignment, &mut rng);
+        }
 
-    // Final feasibility passes at the finest level: alternate balancing and
-    // refinement until the caps hold (bounded rounds).
-    {
+        // Final feasibility passes at the finest level: alternate balancing
+        // and refinement until the caps hold (bounded rounds).
         let model = BalanceModel::new(graph, nparts, config.imbalance_tol);
         let mut pw = part_weights(graph, &assignment, nparts);
         for _ in 0..4 {
@@ -66,7 +70,7 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
             rebalance(graph, &mut assignment, &mut pw, &model, &mut rng);
             greedy_kway_refine(graph, &mut assignment, &mut pw, &model, 2, &mut rng);
         }
-    }
+    });
 
     PartitionResult::measure(graph, assignment, nparts, levels)
 }

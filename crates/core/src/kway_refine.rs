@@ -9,8 +9,9 @@
 
 use crate::balance::{apply_move, BalanceModel};
 use mcgp_graph::Graph;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use mcgp_runtime::phase::{counter_add, Counter};
+use mcgp_runtime::rng::SliceRandom;
+use mcgp_runtime::rng::Rng;
 
 /// Statistics of a k-way refinement call.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -31,7 +32,7 @@ pub fn greedy_kway_refine(
     pw: &mut [i64],
     model: &BalanceModel,
     iters: usize,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> KwayRefineStats {
     let n = graph.nvtxs();
     let ncon = graph.ncon();
@@ -75,6 +76,7 @@ pub fn greedy_kway_refine(
                 continue;
             }
             // Best destination by (gain, balance improvement).
+            counter_add(Counter::MovesAttempted, 1);
             let mut best: Option<(i64, f64, usize)> = None;
             let load_a_before = part_load(model, pw, ncon, a);
             for &b in &touched {
@@ -114,6 +116,7 @@ pub fn greedy_kway_refine(
                 assignment[v] = b as u32;
                 moved_this_iter += 1;
                 stats.gain += gain;
+                counter_add(Counter::MovesCommitted, 1);
             }
         }
         stats.moves += moved_this_iter;
@@ -151,11 +154,10 @@ mod tests {
     use mcgp_graph::generators::grid_2d;
     use mcgp_graph::metrics::edge_cut_raw;
     use mcgp_graph::synthetic;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use mcgp_runtime::rng::Rng;
 
-    fn rng(seed: u64) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Rng {
+        Rng::seed_from_u64(seed)
     }
 
     /// A crude but balanced striped partition to start refinement from.

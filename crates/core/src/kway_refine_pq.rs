@@ -118,15 +118,14 @@ pub fn pq_kway_refine(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcgp_runtime::rng::Rng;
     use crate::balance::part_weights;
     use mcgp_graph::generators::{grid_2d, mrng_like};
     use mcgp_graph::metrics::edge_cut_raw;
     use mcgp_graph::synthetic;
-    use rand::Rng as _;
-    use rand::SeedableRng as _;
 
     fn random_start(n: usize, k: usize, seed: u64) -> Vec<u32> {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen_range(0..k as u32)).collect()
     }
 
@@ -174,7 +173,7 @@ mod tests {
         pq_kway_refine(&g, &mut a1, &mut pw1, &model, 8);
         let pq_cut = edge_cut_raw(&g, &a1);
 
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut a2 = start;
         let mut pw2 = part_weights(&g, &a2, 4);
         greedy_kway_refine(&g, &mut a2, &mut pw2, &model, 8, &mut rng);

@@ -8,8 +8,8 @@
 
 use crate::config::MatchingScheme;
 use mcgp_graph::Graph;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use mcgp_runtime::rng::SliceRandom;
+use mcgp_runtime::rng::Rng;
 
 /// A matching over a graph: `mate[v] == v` for unmatched vertices, otherwise
 /// `mate[mate[v]] == v`.
@@ -23,7 +23,7 @@ pub struct GraphMatching {
 }
 
 /// Computes a matching with the given scheme. Deterministic per RNG state.
-pub fn match_graph(graph: &Graph, scheme: MatchingScheme, rng: &mut impl Rng) -> GraphMatching {
+pub fn match_graph(graph: &Graph, scheme: MatchingScheme, rng: &mut Rng) -> GraphMatching {
     let n = graph.nvtxs();
     let mut mate: Vec<u32> = (0..n as u32).collect();
     let mut matched = vec![false; n];
@@ -68,7 +68,7 @@ pub fn match_graph(graph: &Graph, scheme: MatchingScheme, rng: &mut impl Rng) ->
     }
 }
 
-fn pick_random(graph: &Graph, v: usize, matched: &[bool], rng: &mut impl Rng) -> Option<usize> {
+fn pick_random(graph: &Graph, v: usize, matched: &[bool], rng: &mut Rng) -> Option<usize> {
     let nbrs = graph.neighbors(v);
     if nbrs.is_empty() {
         return None;
@@ -164,11 +164,10 @@ mod tests {
     use mcgp_graph::csr::GraphBuilder;
     use mcgp_graph::generators::{grid_2d, mrng_like};
     use mcgp_graph::synthetic;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use mcgp_runtime::rng::Rng;
 
-    fn rng(seed: u64) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Rng {
+        Rng::seed_from_u64(seed)
     }
 
     #[test]

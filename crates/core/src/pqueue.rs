@@ -173,9 +173,7 @@ impl IndexedMaxHeap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use mcgp_runtime::rng::Rng;
 
     #[test]
     fn pops_in_descending_key_order() {
@@ -234,7 +232,7 @@ mod tests {
 
     #[test]
     fn randomized_against_reference_sort() {
-        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut rng = Rng::seed_from_u64(99);
         for _ in 0..50 {
             let n = rng.gen_range(1..60);
             let mut q = IndexedMaxHeap::new(n);

@@ -14,9 +14,7 @@ use crate::initial::initial_bisection;
 use crate::PartitionResult;
 use mcgp_graph::subgraph::split_bisection;
 use mcgp_graph::Graph;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::rng::Rng;
 
 /// One complete multilevel bisection of `graph` with side-0 target
 /// `fraction`. Returns the side assignment.
@@ -24,7 +22,7 @@ pub fn multilevel_bisection(
     graph: &Graph,
     fraction: f64,
     config: &PartitionConfig,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> Vec<u32> {
     let hierarchy = coarsen(graph, config.coarsen_target(2), config, rng);
     let coarsest = hierarchy.coarsest().unwrap_or(graph);
@@ -48,7 +46,7 @@ pub fn recursive_bisection_assignment(
     graph: &Graph,
     nparts: usize,
     config: &PartitionConfig,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> Vec<u32> {
     // Per-bisection imbalance compounds multiplicatively over the recursion
     // depth, so split the user's tolerance across the levels:
@@ -69,7 +67,7 @@ fn recurse(
     nparts: usize,
     base: u32,
     config: &PartitionConfig,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
     out: &mut [u32],
 ) {
     debug_assert_eq!(out.len(), graph.nvtxs());
@@ -128,10 +126,10 @@ fn recurse(
 pub fn partition_rb(graph: &Graph, nparts: usize, config: &PartitionConfig) -> PartitionResult {
     assert!(nparts >= 1, "nparts must be >= 1");
     assert!(graph.nvtxs() >= nparts, "more parts than vertices");
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     // Level count of the top-level bisection, for statistics.
     let levels = {
-        let mut probe_rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut probe_rng = Rng::seed_from_u64(config.seed);
         coarsen(graph, config.coarsen_target(2), config, &mut probe_rng).nlevels()
     };
     let assignment = recursive_bisection_assignment(graph, nparts, config, &mut rng);

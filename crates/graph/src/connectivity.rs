@@ -2,9 +2,8 @@
 //! multi-seed BFS region growing used by the workload synthesiser.
 
 use crate::csr::Graph;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::rng::SliceRandom;
+use mcgp_runtime::rng::Rng;
 
 /// Breadth-first order of the component containing `start`.
 pub fn bfs_order(graph: &Graph, start: usize) -> Vec<u32> {
@@ -67,7 +66,7 @@ pub fn is_connected(graph: &Graph) -> bool {
 pub fn bfs_regions(graph: &Graph, nregions: usize, seed: u64) -> Vec<u32> {
     let n = graph.nvtxs();
     assert!(nregions >= 1, "nregions must be >= 1");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut verts: Vec<u32> = (0..n as u32).collect();
     verts.shuffle(&mut rng);
     let seeds: Vec<u32> = verts.into_iter().take(nregions.min(n)).collect();

@@ -9,9 +9,7 @@
 //! analysis assumes of "well-shaped finite element meshes".
 
 use crate::csr::{Graph, GraphBuilder};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::rng::Rng;
 
 /// Specification of one paper evaluation graph.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,7 +109,7 @@ pub fn mrng_like_with_coords(target_nvtxs: usize, seed: u64) -> (Graph, Vec<[f32
         (0, -1, 1),
         (0, -1, -1),
     ];
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for z in 0..nz {
         for y in 0..ny {
             for x in 0..nx {

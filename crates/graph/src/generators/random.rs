@@ -1,9 +1,7 @@
 //! Random graphs for tests and property-based checks.
 
 use crate::csr::{Graph, GraphBuilder};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::rng::Rng;
 
 /// An Erdős–Rényi-style random graph with `n` vertices and approximately
 /// `n * avg_degree / 2` edges (duplicates merged, self-loops dropped), unit
@@ -11,7 +9,7 @@ use rand_chacha::ChaCha8Rng;
 pub fn random_graph(n: usize, avg_degree: f64, seed: u64) -> Graph {
     assert!(n >= 1);
     assert!(avg_degree >= 0.0);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     let target_edges = ((n as f64) * avg_degree / 2.0).round() as usize;
     for _ in 0..target_edges {
@@ -27,9 +25,9 @@ pub fn random_graph(n: usize, avg_degree: f64, seed: u64) -> Graph {
 /// order) plus extra random edges up to roughly `avg_degree`.
 pub fn random_connected(n: usize, avg_degree: f64, seed: u64) -> Graph {
     assert!(n >= 1);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut order: Vec<usize> = (0..n).collect();
-    use rand::seq::SliceRandom;
+    use mcgp_runtime::rng::SliceRandom;
     order.shuffle(&mut rng);
     let mut b = GraphBuilder::new(n);
     for w in order.windows(2) {

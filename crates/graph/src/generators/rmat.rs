@@ -8,9 +8,7 @@
 //! stop holding.
 
 use crate::csr::{Graph, GraphBuilder};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::rng::Rng;
 
 /// Generates an R-MAT graph over `2^scale` vertices with roughly
 /// `edge_factor * 2^scale` undirected edges (duplicates merged, self-loops
@@ -20,12 +18,12 @@ pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -
     assert!(scale >= 1 && scale < 31, "scale out of range");
     assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0, "bad quadrant probabilities");
     let n = 1usize << scale;
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new(n);
     for _ in 0..n * edge_factor {
         let (mut u, mut v) = (0usize, 0usize);
         for level in (0..scale).rev() {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             let bit = 1usize << level;
             if r < a {
                 // top-left: no bits set

@@ -111,7 +111,7 @@ pub fn boundary_count(graph: &Graph, part: &Partition) -> usize {
 }
 
 /// A bundled quality report for one partitioning run.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PartitionQuality {
     /// Total weight of cut edges.
     pub edge_cut: i64,
@@ -124,6 +124,8 @@ pub struct PartitionQuality {
     /// Number of boundary vertices.
     pub boundary: usize,
 }
+
+mcgp_runtime::impl_to_json!(PartitionQuality { edge_cut, imbalances, max_imbalance, comm_volume, boundary });
 
 impl PartitionQuality {
     /// Computes the full report.
@@ -148,7 +150,7 @@ impl PartitionQuality {
 /// Per-subdomain detail: weights, boundary size, and neighbouring
 /// subdomains — what a simulation operator inspects when a partition
 /// underperforms.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SubdomainReport {
     /// Subdomain id.
     pub part: usize,
@@ -163,6 +165,8 @@ pub struct SubdomainReport {
     /// Total weight of edges leaving this subdomain.
     pub cut_edges: i64,
 }
+
+mcgp_runtime::impl_to_json!(SubdomainReport { part, vertices, weights, boundary, neighbors, cut_edges });
 
 /// Computes the per-subdomain breakdown of a partition.
 pub fn subdomain_reports(graph: &Graph, part: &Partition) -> Vec<SubdomainReport> {

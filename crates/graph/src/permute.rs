@@ -49,6 +49,7 @@ pub fn bandwidth(graph: &Graph) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcgp_runtime::rng::Rng;
     use crate::generators::{grid_2d, mrng_like};
     use crate::synthetic;
 
@@ -100,10 +101,9 @@ mod tests {
     fn bandwidth_reacts_to_bad_orderings() {
         let g = mrng_like(500, 1);
         let natural = bandwidth(&g);
-        use rand::seq::SliceRandom as _;
-        use rand::SeedableRng as _;
+        use mcgp_runtime::rng::SliceRandom as _;
         let mut iperm: Vec<u32> = (0..g.nvtxs() as u32).collect();
-        iperm.shuffle(&mut rand_chacha::ChaCha8Rng::seed_from_u64(1));
+        iperm.shuffle(&mut Rng::seed_from_u64(1));
         let shuffled = bandwidth(&permute(&g, &iperm));
         assert!(shuffled > natural, "shuffle should hurt bandwidth: {shuffled} vs {natural}");
     }

@@ -24,10 +24,8 @@
 
 use crate::connectivity::bfs_regions;
 use crate::csr::Graph;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::rng::SliceRandom;
+use mcgp_runtime::rng::Rng;
 
 /// Number of regions used by Type-1 synthesis in the paper.
 pub const TYPE1_REGIONS: usize = 16;
@@ -35,7 +33,7 @@ pub const TYPE1_REGIONS: usize = 16;
 pub const TYPE2_REGIONS: usize = 32;
 
 /// The problem family, as labelled in Figures 3–5 (`m cons t`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ProblemType {
     /// Region-constant random weight vectors.
     Type1,
@@ -60,7 +58,7 @@ pub fn type1_with_regions(graph: &Graph, ncon: usize, regions: &[u32], seed: u64
     assert_eq!(graph.nvtxs(), regions.len(), "regions/graph size mismatch");
     assert!(ncon >= 1);
     let nregions = regions.iter().copied().max().map_or(0, |m| m as usize + 1);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut region_vec = vec![0i64; nregions * ncon];
     for w in region_vec.iter_mut() {
         *w = rng.gen_range(0..20);
@@ -110,7 +108,7 @@ pub fn type2_with_regions(graph: &Graph, ncon: usize, regions: &[u32], seed: u64
     assert_eq!(graph.nvtxs(), regions.len(), "regions/graph size mismatch");
     let fractions = active_fractions(ncon);
     let nregions = regions.iter().copied().max().map_or(0, |m| m as usize + 1);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     // active[phase][region]
     let mut active = vec![vec![false; nregions]; ncon];

@@ -307,6 +307,7 @@ fn run_partition(opts: &Opts) {
     );
     let mut cfg = mcgp_core::PartitionConfig::default().with_seed(seed);
     cfg.imbalance_tol = tol;
+    let _ = mcgp_runtime::phase::take_local(); // clean slate for the phase report
     let (assignment, quality) = match parallel {
         Some(p) => {
             let mut pcfg = mcgp_parallel::ParallelConfig::new(p);
@@ -327,6 +328,7 @@ fn run_partition(opts: &Opts) {
         "edge-cut {}  max-imbalance {:.4}  comm-volume {}",
         quality.edge_cut, quality.max_imbalance, quality.comm_volume
     );
+    eprintln!("{}", mcgp_runtime::phase::take_local().render());
     let outfile = outfile.unwrap_or_else(|| format!("{file}.part.{k}"));
     let f = std::fs::File::create(&outfile).expect("create output file");
     mcgp_graph::io::write_partition(&assignment, f).expect("write partition");

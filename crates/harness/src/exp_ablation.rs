@@ -17,13 +17,10 @@ use mcgp_core::{partition_kway, PartitionConfig};
 use mcgp_graph::synthetic::ProblemType;
 use mcgp_parallel::refine_par::{parallel_balance, reservation_refine};
 use mcgp_parallel::{parallel_partition_kway, DistGraph, ParallelConfig, RefinerKind};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use mcgp_runtime::rng::Rng;
 
 /// One A1 cell: slice vs reservation quality, both normalised by serial.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SliceAblationRow {
     /// Graph name.
     pub graph: String,
@@ -38,6 +35,8 @@ pub struct SliceAblationRow {
     /// Moves the slice scheme disallowed (its thin-slice pressure).
     pub slice_disallowed: usize,
 }
+
+mcgp_runtime::impl_to_json!(SliceAblationRow { graph, label, nprocs, reservation_ratio, slice_ratio, slice_disallowed });
 
 /// Runs the A1 grid.
 pub fn slice_ablation(
@@ -115,7 +114,7 @@ pub fn slice_ablation_text(rows: &[SliceAblationRow]) -> String {
 
 /// One A2 cell: injected initial imbalance vs what parallel refinement
 /// recovered.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ImbalanceRow {
     /// Injected initial imbalance (e.g. 1.25 = 25 % over average).
     pub injected: f64,
@@ -125,6 +124,8 @@ pub struct ImbalanceRow {
     /// partitioning.
     pub cut_ratio: f64,
 }
+
+mcgp_runtime::impl_to_json!(ImbalanceRow { injected, final_imbalance, cut_ratio });
 
 /// A2: corrupt a good k-way partitioning to a target imbalance, then let
 /// the parallel refinement machinery (reservation refinement plus the
@@ -156,7 +157,7 @@ pub fn imbalance_recovery(
             // Corrupt: move random vertices into part 0 until constraint 0
             // reaches (1 + inject) * avg.
             let mut part = base.partition.assignment().to_vec();
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0 ^ (inject * 100.0) as u64);
+            let mut rng = Rng::seed_from_u64(seed ^ 0xC0 ^ (inject * 100.0) as u64);
             let mut pw = part_weights(&wg, &part, nparts);
             let target = (1.0 + inject) * avg0;
             let mut guard = 0;
@@ -218,7 +219,7 @@ pub fn imbalance_text(rows: &[ImbalanceRow]) -> String {
 }
 
 /// One A3 cell: serial quality as the constraint count grows.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ConstraintRow {
     /// Number of constraints.
     pub ncon: usize,
@@ -227,6 +228,8 @@ pub struct ConstraintRow {
     /// Maximum imbalance achieved.
     pub balance: f64,
 }
+
+mcgp_runtime::impl_to_json!(ConstraintRow { ncon, cut_ratio, balance });
 
 /// A3: serial multi-constraint quality for m = 1..=max_ncon (Type-1
 /// weights) at fixed k.

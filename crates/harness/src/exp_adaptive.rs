@@ -12,10 +12,9 @@ use mcgp_adaptive::evolve::EvolvingWorkload;
 use mcgp_adaptive::{repartition, RepartitionMethod};
 use mcgp_core::{partition_kway, PartitionConfig};
 use mcgp_graph::Graph;
-use serde::{Deserialize, Serialize};
 
 /// One step of the adaptive comparison.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AdaptiveRow {
     /// Strategy name.
     pub method: String,
@@ -28,6 +27,8 @@ pub struct AdaptiveRow {
     /// Vertices migrated from the previous step's partition.
     pub moved: usize,
 }
+
+mcgp_runtime::impl_to_json!(AdaptiveRow { method, step, cut, balance, moved });
 
 /// Runs the adaptive comparison on `mesh` over `steps` steps.
 pub fn adaptive_comparison(

@@ -6,10 +6,9 @@ use crate::report::{f3, render_table};
 use crate::suite::{SuiteGraph, WorkloadSpec};
 use mcgp_core::{partition_kway, PartitionConfig};
 use mcgp_parallel::{parallel_partition_kway, ParallelConfig};
-use serde::{Deserialize, Serialize};
 
 /// One row of Table 1.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Row {
     /// Graph name.
     pub graph: String,
@@ -22,6 +21,8 @@ pub struct Table1Row {
     /// The paper's edge count.
     pub paper_nedges: usize,
 }
+
+mcgp_runtime::impl_to_json!(Table1Row { graph, nvtxs, nedges, paper_nvtxs, paper_nedges });
 
 /// Regenerates Table 1 for the given suite.
 pub fn table1(suite: &[SuiteGraph]) -> Vec<Table1Row> {
@@ -64,7 +65,7 @@ pub fn table1_text(rows: &[Table1Row]) -> String {
 
 /// One bar pair of Figures 3–5: a (graph, workload, p) cell averaged over
 /// seeds.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct QualityRow {
     /// Graph name (mrng1..mrng4).
     pub graph: String,
@@ -88,6 +89,8 @@ pub struct QualityRow {
     /// Mean coarsening levels, serial.
     pub levels_serial: f64,
 }
+
+mcgp_runtime::impl_to_json!(QualityRow { graph, label, nprocs, serial_cut, parallel_cut, ratio, balance, serial_balance, levels_parallel, levels_serial });
 
 /// Runs the Figures 3–5 grid: every suite graph × the workload grid ×
 /// `procs`, averaged over `seeds` (the paper used three seeds).

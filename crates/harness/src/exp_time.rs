@@ -13,10 +13,9 @@ use mcgp_core::single::collapse_to_single;
 use mcgp_graph::synthetic::ProblemType;
 use mcgp_graph::Graph;
 use mcgp_parallel::{parallel_partition_kway, ParallelConfig};
-use serde::{Deserialize, Serialize};
 
 /// One row of Table 2 (serial vs parallel, three-constraint, mrng1).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table2Row {
     /// Subdomains = processors.
     pub k: usize,
@@ -29,7 +28,27 @@ pub struct Table2Row {
     /// Host wall-clock of the whole simulation (seconds) — not a paper
     /// quantity, recorded for transparency.
     pub wall_s: f64,
+    /// Host wall-clock spent coarsening in the p = k run (seconds).
+    pub coarsen_s: f64,
+    /// Host wall-clock spent on initial partitioning in the p = k run.
+    pub initial_s: f64,
+    /// Host wall-clock spent refining in the p = k run (seconds).
+    pub refine_s: f64,
+    /// Matching proposals that lost grant arbitration in the p = k run.
+    pub match_conflicts: u64,
 }
+
+mcgp_runtime::impl_to_json!(Table2Row {
+    k,
+    serial_time_s,
+    parallel_time_s,
+    speedup,
+    wall_s,
+    coarsen_s,
+    initial_s,
+    refine_s,
+    match_conflicts
+});
 
 /// Regenerates Table 2: three-constraint Type-1 problem on `mesh`
 /// (mrng1), k = p ∈ `ks`.
@@ -42,13 +61,19 @@ pub fn table2(mesh: &Graph, ks: &[usize], seed: u64) -> Vec<Table2Row> {
     ks.iter()
         .map(|&k| {
             let serial = parallel_partition_kway(&wg, k, &ParallelConfig::new(1).with_seed(seed));
+            let _ = mcgp_runtime::phase::take_local(); // isolate the p = k run
             let par = parallel_partition_kway(&wg, k, &ParallelConfig::new(k).with_seed(seed));
+            let phases = mcgp_runtime::phase::take_local();
             Table2Row {
                 k,
                 serial_time_s: serial.stats.modeled_time_s,
                 parallel_time_s: par.stats.modeled_time_s,
                 speedup: serial.stats.modeled_time_s / par.stats.modeled_time_s.max(1e-12),
                 wall_s: par.stats.wall_time_s,
+                coarsen_s: phases.seconds(mcgp_runtime::Phase::Coarsen),
+                initial_s: phases.seconds(mcgp_runtime::Phase::Initial),
+                refine_s: phases.seconds(mcgp_runtime::Phase::Refine),
+                match_conflicts: phases.counter(mcgp_runtime::Counter::MatchConflicts),
             }
         })
         .collect()
@@ -63,6 +88,10 @@ pub fn table2_text(rows: &[Table2Row]) -> String {
             "parallel time",
             "speedup",
             "(host wall)",
+            "(coarsen)",
+            "(initial)",
+            "(refine)",
+            "(conflicts)",
         ],
         &rows
             .iter()
@@ -73,6 +102,10 @@ pub fn table2_text(rows: &[Table2Row]) -> String {
                     f2(r.parallel_time_s),
                     f2(r.speedup),
                     f2(r.wall_s),
+                    f2(r.coarsen_s),
+                    f2(r.initial_s),
+                    f2(r.refine_s),
+                    r.match_conflicts.to_string(),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -80,7 +113,7 @@ pub fn table2_text(rows: &[Table2Row]) -> String {
 }
 
 /// One cell of Table 3 / Table 4.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ScalingCell {
     /// Graph name.
     pub graph: String,
@@ -98,6 +131,8 @@ pub struct ScalingCell {
     /// Total communication volume (bytes).
     pub comm_bytes: u64,
 }
+
+mcgp_runtime::impl_to_json!(ScalingCell { graph, nprocs, ncon, time_s, efficiency, wall_s, comm_bytes });
 
 /// Runs the Table 3 grid: `ncon`-constraint Type-1 problems on the given
 /// suite graphs over `procs`, computing relative efficiencies per graph.
@@ -206,7 +241,7 @@ pub fn scaling_text(cells: &[ScalingCell], procs: &[usize], with_efficiency: boo
 /// One isoefficiency comparison of the paper's Section 3 analysis: graph
 /// size ×4 with processors ×2 should roughly preserve efficiency
 /// (isoefficiency `O(p² log p)` predicts slightly *worse*).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct IsoRow {
     /// Smaller configuration, e.g. "mrng2 @ 32".
     pub small: String,
@@ -217,6 +252,8 @@ pub struct IsoRow {
     /// Efficiency of the larger configuration.
     pub eff_large: f64,
 }
+
+mcgp_runtime::impl_to_json!(IsoRow { small, large, eff_small, eff_large });
 
 /// Extracts the paper's isoefficiency checks from Table-3 cells: pairs
 /// (mrng2 @ p, mrng3 @ 2p) for p ∈ {16, 32, 64}.

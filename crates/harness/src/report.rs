@@ -1,6 +1,6 @@
 //! Plain-text tables and JSON experiment records.
 
-use serde::Serialize;
+use mcgp_runtime::json::ToJson;
 use std::io::Write;
 use std::path::Path;
 
@@ -39,7 +39,7 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Appends one JSON record per line to `<dir>/<name>.jsonl` (created if
 /// missing). No-op when `dir` is `None`.
-pub fn write_records<T: Serialize>(
+pub fn write_records<T: ToJson>(
     dir: Option<&Path>,
     name: &str,
     records: &[T],
@@ -52,11 +52,7 @@ pub fn write_records<T: Serialize>(
         .append(true)
         .open(path)?;
     for r in records {
-        writeln!(
-            f,
-            "{}",
-            serde_json::to_string(r).expect("serializable record")
-        )?;
+        writeln!(f, "{}", r.to_json())?;
     }
     Ok(())
 }
@@ -129,9 +125,13 @@ mod tests {
 
     #[test]
     fn records_roundtrip_jsonl() {
-        #[derive(serde::Serialize)]
         struct R {
             x: u32,
+        }
+        impl ToJson for R {
+            fn to_json(&self) -> mcgp_runtime::Json {
+                mcgp_runtime::Json::obj([("x", self.x.to_json())])
+            }
         }
         let dir = std::env::temp_dir().join("mcgp_report_test");
         let _ = std::fs::remove_dir_all(&dir);

@@ -34,8 +34,7 @@ use mcgp_core::rb::multilevel_bisection;
 use mcgp_core::PartitionConfig;
 use mcgp_graph::subgraph::induced_subgraph;
 use mcgp_graph::Graph;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::rng::Rng;
 
 /// Configuration of the nested-dissection driver.
 #[derive(Clone, Debug)]
@@ -87,7 +86,7 @@ pub fn nested_dissection(graph: &Graph, config: &OrderingConfig) -> Ordering {
     let n = graph.nvtxs();
     let mut perm = vec![0u32; n];
     let mut next = 0usize;
-    let mut rng = ChaCha8Rng::seed_from_u64(config.partition.seed ^ 0x0D0D);
+    let mut rng = Rng::seed_from_u64(config.partition.seed ^ 0x0D0D);
     recurse(graph, &(0..n as u32).collect::<Vec<_>>(), config, &mut rng, &mut perm, &mut next);
     debug_assert_eq!(next, n);
     let mut iperm = vec![0u32; n];
@@ -101,7 +100,7 @@ fn recurse(
     graph: &Graph,
     to_parent: &[u32],
     config: &OrderingConfig,
-    rng: &mut ChaCha8Rng,
+    rng: &mut Rng,
     perm: &mut [u32],
     next: &mut usize,
 ) {
@@ -186,11 +185,11 @@ mod tests {
 
     #[test]
     fn beats_random_order_on_meshes() {
-        use rand::seq::SliceRandom as _;
+        use mcgp_runtime::rng::SliceRandom as _;
         let g = mrng_like(1_000, 3);
         let ord = nested_dissection(&g, &OrderingConfig::default());
         let mut random: Vec<u32> = (0..g.nvtxs() as u32).collect();
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         random.shuffle(&mut rng);
         assert!(symbolic_fill(&g, ord.perm()) < symbolic_fill(&g, &random));
     }

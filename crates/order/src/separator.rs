@@ -71,10 +71,10 @@ pub fn is_separator(graph: &Graph, side: &[u32], sep: &[u32]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcgp_runtime::rng::Rng;
     use mcgp_core::rb::multilevel_bisection;
     use mcgp_core::PartitionConfig;
     use mcgp_graph::generators::{grid_2d, mrng_like};
-    use rand::SeedableRng as _;
 
     #[test]
     fn covers_all_cut_edges_on_grid() {
@@ -90,7 +90,7 @@ mod tests {
     fn separator_of_real_bisection_is_small() {
         let g = mrng_like(2_000, 1);
         let cfg = PartitionConfig::default();
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let side = multilevel_bisection(&g, 0.5, &cfg, &mut rng);
         let sep = vertex_separator(&g, &side);
         assert!(is_separator(&g, &side, &sep));

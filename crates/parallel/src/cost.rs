@@ -107,7 +107,7 @@ impl CostTracker {
 }
 
 /// Final run statistics attached to a parallel partitioning result.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunStats {
     /// Logical processors used.
     pub nprocs: usize,
@@ -125,6 +125,8 @@ pub struct RunStats {
     /// Actual wall-clock of the whole simulation on the host (seconds).
     pub wall_time_s: f64,
 }
+
+mcgp_runtime::impl_to_json!(RunStats { nprocs, supersteps, comm_bytes, comp_ops, modeled_time_s, modeled_serial_time_s, wall_time_s });
 
 impl RunStats {
     /// Modeled speedup (`serial / parallel`).

@@ -14,8 +14,7 @@ use mcgp_core::config::PartitionConfig;
 use mcgp_core::kway_refine::greedy_kway_refine;
 use mcgp_core::rb::recursive_bisection_assignment;
 use mcgp_graph::metrics::edge_cut_raw;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::rng::Rng;
 
 /// Gathers the coarsest graph and computes the best-of-p seeded serial
 /// recursive bisection. Returns the global assignment.
@@ -43,13 +42,14 @@ pub fn parallel_initial_partition(
         tracker.superstep(&comp, &bytes);
     }
 
-    // Replicated seeded runs (concurrent on the modeled machine).
+    // Replicated seeded runs — concurrent on the modeled machine, and now
+    // also on the host: each run is seeded independently and the winner is
+    // selected serially afterwards, so the pool changes wall time only.
     let runs = runs_executed.clamp(1, p);
     let model = BalanceModel::new(&graph, nparts, config.imbalance_tol);
-    let mut best: Option<(bool, i64, Vec<u32>)> = None;
-    for r in 0..runs {
+    let candidates: Vec<(bool, i64, Vec<u32>)> = mcgp_runtime::pool::map(runs, |r| {
         let cfg = config.with_seed(config.seed ^ (0x1217 + r as u64));
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
         let mut assignment = recursive_bisection_assignment(&graph, nparts, &cfg, &mut rng);
         let mut pw = part_weights(&graph, &assignment, nparts);
         // The initial partitioning *must* come out balanced — multilevel
@@ -62,6 +62,12 @@ pub fn parallel_initial_partition(
         }
         let feasible = model.is_balanced(&pw);
         let cut = edge_cut_raw(&graph, &assignment);
+        (feasible, cut, assignment)
+    });
+    // Winner-selection "allreduce": feasible first, then lowest cut, ties to
+    // the lowest run index (the order candidates already arrive in).
+    let mut best: Option<(bool, i64, Vec<u32>)> = None;
+    for (feasible, cut, assignment) in candidates {
         let better = match &best {
             None => true,
             Some((bf, bc, _)) => match (feasible, *bf) {

@@ -145,7 +145,7 @@ pub fn parallel_partition_kway(
     // --- Parallel coarsening --------------------------------------------
     let target = (cfg.coarsen_to_per_part * nparts).max(cfg.serial.coarsen_target(nparts));
     let mut levels: Vec<DistLevel> = Vec::new();
-    loop {
+    mcgp_runtime::phase::timed(mcgp_runtime::phase::Phase::Coarsen, || loop {
         let cur = levels.last().map_or(&finest, |l| &l.graph);
         if cur.nvtxs() <= target || levels.len() >= 64 {
             break;
@@ -178,18 +178,20 @@ pub fn parallel_partition_kway(
             }
         }
         levels.push(level);
-    }
+    });
     let coarsen_levels = levels.len();
 
     // --- Initial partitioning on the coarsest graph ----------------------
     let coarsest = levels.last().map_or(&finest, |l| &l.graph);
-    let mut part = parallel_initial_partition(
-        coarsest,
-        nparts,
-        &cfg.serial,
-        cfg.init_runs_executed,
-        &mut tracker,
-    );
+    let mut part = mcgp_runtime::phase::timed(mcgp_runtime::phase::Phase::Initial, || {
+        parallel_initial_partition(
+            coarsest,
+            nparts,
+            &cfg.serial,
+            cfg.init_runs_executed,
+            &mut tracker,
+        )
+    });
 
     // --- Uncoarsening with parallel multi-constraint refinement ----------
     let mut refine_stats = ParRefineStats::default();
@@ -264,42 +266,45 @@ pub fn parallel_partition_kway(
             }
         };
 
-    // Refine the coarsest level itself, then project down.
-    refine_level(coarsest, &mut part, seed ^ 0xC0A0, &mut tracker);
-    for lvl in (0..levels.len()).rev() {
-        // Project: fine v takes the part of its coarse vertex; vertices
-        // whose coarse vertex lives on another processor fetch it.
-        let finer: &DistGraph = if lvl == 0 {
-            &finest
-        } else {
-            &levels[lvl - 1].graph
-        };
-        let cmap = &levels[lvl].cmap;
-        let coarse = &levels[lvl].graph;
-        let p = finer.nprocs();
-        let mut comp = vec![0u64; p];
-        let mut bytes = vec![0u64; p];
-        let mut fine_part = vec![0u32; finer.nvtxs()];
-        for q in 0..p {
-            let lg = finer.local(q);
-            comp[q] = lg.nlocal() as u64;
-            for lv in 0..lg.nlocal() {
-                let v = lg.global(lv);
-                let c = cmap[v] as usize;
-                if coarse.owner(c) != q {
-                    bytes[q] += 4;
+    mcgp_runtime::phase::timed(mcgp_runtime::phase::Phase::Refine, || {
+        // Refine the coarsest level itself, then project down.
+        refine_level(coarsest, &mut part, seed ^ 0xC0A0, &mut tracker);
+        for lvl in (0..levels.len()).rev() {
+            // Project: fine v takes the part of its coarse vertex; vertices
+            // whose coarse vertex lives on another processor fetch it.
+            let finer: &DistGraph = if lvl == 0 {
+                &finest
+            } else {
+                &levels[lvl - 1].graph
+            };
+            let cmap = &levels[lvl].cmap;
+            let coarse = &levels[lvl].graph;
+            let p = finer.nprocs();
+            let mut comp = vec![0u64; p];
+            let mut bytes = vec![0u64; p];
+            let mut fine_part = vec![0u32; finer.nvtxs()];
+            for q in 0..p {
+                let lg = finer.local(q);
+                comp[q] = lg.nlocal() as u64;
+                for lv in 0..lg.nlocal() {
+                    let v = lg.global(lv);
+                    let c = cmap[v] as usize;
+                    if coarse.owner(c) != q {
+                        bytes[q] += 4;
+                    }
+                    fine_part[v] = part[c];
                 }
-                fine_part[v] = part[c];
             }
+            tracker.superstep(&comp, &bytes);
+            part = fine_part;
+            refine_level(finer, &mut part, seed ^ ((lvl as u64) << 16), &mut tracker);
         }
-        tracker.superstep(&comp, &bytes);
-        part = fine_part;
-        refine_level(finer, &mut part, seed ^ ((lvl as u64) << 16), &mut tracker);
-    }
+    });
 
-    // Final balance pass: the reservation scheme's residual overshoot at
-    // the finest level is corrected here (cheap — the overshoot is small).
-    {
+    // Final balance pass (still the refinement phase): the reservation
+    // scheme's residual overshoot at the finest level is corrected here
+    // (cheap — the overshoot is small).
+    mcgp_runtime::phase::timed(mcgp_runtime::phase::Phase::Refine, || {
         let model = BalanceModel::from_parts(
             finest.ncon(),
             nparts,
@@ -318,7 +323,7 @@ pub fn parallel_partition_kway(
             seed ^ 0xF1A1,
             &mut tracker,
         );
-    }
+    });
 
     // --- Measure ----------------------------------------------------------
     let partition =
@@ -390,11 +395,11 @@ mod tests {
         // protocol under-matches per level, so it needs at least as many
         // levels to reach it (the paper's slow-coarsening effect).
         use mcgp_core::coarsen::coarsen;
-        use rand::SeedableRng as _;
+        use mcgp_runtime::rng::Rng;
         let g = mrng_like(4000, 7);
         let cfg = ParallelConfig::new(16);
         let target = cfg.coarsen_to_per_part * 8;
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut serial_cfg = PartitionConfig::default();
         serial_cfg.coarsen_to_per_part = cfg.coarsen_to_per_part;
         serial_cfg.coarsen_to_min = target;

@@ -17,9 +17,8 @@
 use crate::cost::CostTracker;
 use crate::dist::DistGraph;
 use mcgp_core::config::MatchingScheme;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::rng::SliceRandom;
+use mcgp_runtime::rng::Rng;
 
 /// A global matching over a distributed graph (`mate[g] == g` when
 /// unmatched).
@@ -80,22 +79,26 @@ pub fn parallel_match(
 
     for round in 0..rounds {
         let parity = (round % 2) as usize;
-        // --- Proposal superstep -------------------------------------------
-        let mut proposals: Vec<Proposal> = Vec::new();
-        let mut comp = vec![0u64; p];
-        let mut bytes = vec![0u64; p];
-        for q in 0..p {
+        // --- Proposal superstep (runs on the shared-memory pool) ----------
+        // Each logical processor's proposal scan is independent: `matched`
+        // is read-only until grants land, and traffic tallies are summed in
+        // processor order afterwards, so the result is identical to the
+        // serial sweep.
+        let per_proc: Vec<(Vec<Proposal>, u64, Vec<u64>)> = mcgp_runtime::pool::map(p, |q| {
             let lg = dist.local(q);
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (round as u64) << 32 ^ (q as u64) << 8);
+            let mut rng = Rng::seed_from_u64(seed ^ (round as u64) << 32 ^ (q as u64) << 8);
             let mut order: Vec<u32> = (0..lg.nlocal() as u32).collect();
             order.shuffle(&mut rng);
+            let mut props: Vec<Proposal> = Vec::new();
+            let mut comp_q = 0u64;
+            let mut bytes_q = vec![0u64; p];
             for &lv in &order {
                 let lv = lv as usize;
                 let v = lg.global(lv);
                 if matched[v] || v % 2 != parity {
                     continue;
                 }
-                comp[q] += lg.neighbors(lv).len() as u64 * ((2 + ncon as u64) / 2) + ncon as u64;
+                comp_q += lg.neighbors(lv).len() as u64 * ((2 + ncon as u64) / 2) + ncon as u64;
                 let vw = lg.vwgt(lv);
                 // Best unmatched opposite-parity neighbour.
                 let mut best: Option<(i64, f64, u32)> = None;
@@ -132,16 +135,27 @@ pub fn parallel_match(
                     let target_owner = dist.owner(u as usize);
                     if target_owner != q {
                         // proposer id + target id + weight + vwgt vector
-                        bytes[q] += (12 + ncon * 8) as u64;
-                        bytes[target_owner] += (12 + ncon * 8) as u64;
+                        bytes_q[q] += (12 + ncon * 8) as u64;
+                        bytes_q[target_owner] += (12 + ncon * 8) as u64;
                     }
-                    proposals.push(Proposal {
+                    props.push(Proposal {
                         target: u,
                         proposer: v as u32,
                         edge_w: w,
                         vwgt: vw.to_vec(),
                     });
                 }
+            }
+            (props, comp_q, bytes_q)
+        });
+        let mut proposals: Vec<Proposal> = Vec::new();
+        let mut comp = vec![0u64; p];
+        let mut bytes = vec![0u64; p];
+        for (q, (props, comp_q, bytes_q)) in per_proc.into_iter().enumerate() {
+            proposals.extend(props);
+            comp[q] = comp_q;
+            for (b, bq) in bytes.iter_mut().zip(bytes_q) {
+                *b += bq;
             }
         }
         tracker.superstep(&comp, &bytes);
@@ -180,6 +194,12 @@ pub fn parallel_match(
             }
             i = j;
         }
+        // Proposals that lost arbitration (or raced a previous grant) are
+        // the protocol's conflicts — the driver of slow coarsening.
+        mcgp_runtime::phase::counter_add(
+            mcgp_runtime::phase::Counter::MatchConflicts,
+            (proposals.len() - grants.len()) as u64,
+        );
         // Grant notifications travel back to proposers.
         let mut bytes = vec![0u64; p];
         for &(v, u) in &grants {
@@ -312,12 +332,11 @@ mod tests {
         // The parity protocol plus grant conflicts should leave more
         // singletons than serial matching — the paper's slow-coarsening
         // effect. (Compare against the serial matcher on the same graph.)
-        use rand::SeedableRng;
         let g = mrng_like(3000, 9);
         let d = DistGraph::distribute(&g, 16);
         let mut t = CostTracker::new();
         let par = parallel_match(&d, MatchingScheme::HeavyEdge, 2, 3, &mut t);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let ser = mcgp_core::matching::match_graph(&g, MatchingScheme::HeavyEdge, &mut rng);
         assert!(
             par.coarse_nvtxs >= ser.coarse_nvtxs,

@@ -39,9 +39,7 @@
 use crate::cost::CostTracker;
 use crate::dist::DistGraph;
 use mcgp_core::balance::BalanceModel;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use mcgp_runtime::rng::Rng;
 
 /// Statistics of one refinement call (one level).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -96,12 +94,11 @@ pub fn reservation_refine(
         // the published (previous-superstep) state — that is the
         // concurrency relaxation the reservation scheme exists to police.
         // The per-processor sweeps are independent by construction (each
-        // reads only shared snapshots), so they run under rayon on the host
-        // and their outputs are merged in processor order (deterministic).
-        use rayon::prelude::*;
-        let per_proc: Vec<(u64, u64, Vec<Move>, Vec<i64>)> = (0..p)
-            .into_par_iter()
-            .map(|q| {
+        // reads only shared snapshots), so they run on the shared-memory
+        // pool and their outputs are merged in processor order
+        // (deterministic regardless of scheduling).
+        let per_proc: Vec<(u64, u64, Vec<Move>, Vec<i64>)> =
+            mcgp_runtime::pool::map(p, |q| {
                 let lg = dist.local(q);
                 let mut comp_q = 0u64;
                 let bytes_q = (dist.halo_size(q) * 4) as u64; // published halo parts
@@ -179,8 +176,7 @@ pub fn reservation_refine(
                     }
                 }
                 (comp_q, bytes_q, proposals_q, inflow_q)
-            })
-            .collect();
+            });
         let mut comp = vec![0u64; p];
         let mut bytes = vec![0u64; p];
         let mut proposals: Vec<Move> = Vec::new();
@@ -220,8 +216,8 @@ pub fn reservation_refine(
                 }
             }
         }
-        let mut rngs: Vec<ChaCha8Rng> = (0..p)
-            .map(|q| ChaCha8Rng::seed_from_u64(seed ^ ((iter as u64) << 24) ^ (q as u64)))
+        let mut rngs: Vec<Rng> = (0..p)
+            .map(|q| Rng::seed_from_u64(seed ^ ((iter as u64) << 24) ^ (q as u64)))
             .collect();
         let mut committed: Vec<Move> = Vec::with_capacity(proposals.len());
         for m in proposals {
@@ -460,8 +456,8 @@ pub fn parallel_balance(
                 }
             }
         }
-        let mut rngs: Vec<ChaCha8Rng> = (0..p)
-            .map(|q| ChaCha8Rng::seed_from_u64(seed ^ ((round as u64) << 20) ^ (q as u64) ^ 0xBA1))
+        let mut rngs: Vec<Rng> = (0..p)
+            .map(|q| Rng::seed_from_u64(seed ^ ((round as u64) << 20) ^ (q as u64) ^ 0xBA1))
             .collect();
         let mut committed = 0usize;
         let mut comp = vec![0u64; p];

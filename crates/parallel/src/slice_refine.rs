@@ -139,6 +139,7 @@ pub fn slice_refine(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcgp_runtime::rng::Rng;
     use mcgp_core::balance::part_weights;
     use mcgp_graph::generators::{grid_2d, mrng_like};
     use mcgp_graph::metrics::edge_cut_raw;
@@ -184,8 +185,7 @@ mod tests {
         let g = synthetic::type1(&grid_2d(24, 24), 4, 8);
         // Uniformly random start: many positive-gain moves compete for the
         // thin per-processor slices.
-        use rand::{Rng as _, SeedableRng as _};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let mut rng = Rng::seed_from_u64(99);
         let start: Vec<u32> = (0..576).map(|_| rng.gen_range(0..8u32)).collect();
         let mut disallowed = Vec::new();
         for p in [2usize, 16] {

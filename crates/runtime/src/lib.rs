@@ -1,0 +1,32 @@
+//! # mcgp-runtime — hermetic zero-dependency runtime substrate
+//!
+//! Every other crate in the workspace builds on this one, and this one
+//! builds on nothing but `std`. That is a deliberate policy, not an
+//! accident (see `DESIGN.md`, "Hermetic builds"): the workspace must
+//! compile and test with `--offline` on a machine that has never talked to
+//! crates.io, and the partitioner must own the runtime behaviours its
+//! results depend on.
+//!
+//! Four modules:
+//!
+//! * [`rng`] — a seedable deterministic PRNG (SplitMix64-seeded
+//!   xoshiro256++). Same seed ⇒ bit-identical stream on every platform,
+//!   which makes every partition reproducible and every test failure
+//!   replayable from a single `u64`.
+//! * [`pool`] — a scoped worker pool over index ranges. Results are merged
+//!   in index order, so parallel execution never perturbs determinism.
+//! * [`json`] — a minimal JSON value type with writer and parser, enough
+//!   for the experiment JSONL records and config round-trips.
+//! * [`phase`] — wall-clock phase timers and monotonic counters
+//!   (coarsening/initial/refinement time, moves attempted/committed,
+//!   matching conflicts) collected thread-locally and merged across
+//!   [`pool`] workers.
+
+pub mod json;
+pub mod phase;
+pub mod pool;
+pub mod rng;
+
+pub use json::{Json, ToJson};
+pub use phase::{Counter, Phase, PhaseReport};
+pub use rng::{Rng, SliceRandom};

@@ -1,0 +1,254 @@
+//! Phase timers and counters — the seed of the observability layer.
+//!
+//! Multilevel partitioning has a natural phase structure (coarsen →
+//! initial → refine), and both the paper's tables and day-to-day
+//! performance work need the per-phase wall-time split plus a handful of
+//! behavioural counters (moves attempted/committed, matching conflicts).
+//! Threading an explicit stats object through every call signature would
+//! make instrumentation the most invasive part of the codebase, so the
+//! tally lives in a thread-local instead: leaf code calls
+//! [`counter_add`] / [`timed`] with no plumbing, drivers drain the tally
+//! with [`take_local`], and [`crate::pool`] merges worker-thread tallies
+//! back into the caller so parallel regions stay observable.
+
+use crate::json::{Json, ToJson};
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+/// A timed phase of a partitioning run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Coarsening: matching + contraction, all levels.
+    Coarsen,
+    /// Initial partitioning of the coarsest graph.
+    Initial,
+    /// Uncoarsening: projection + refinement + balancing, all levels.
+    Refine,
+}
+
+const PHASES: [Phase; 3] = [Phase::Coarsen, Phase::Initial, Phase::Refine];
+
+impl Phase {
+    fn index(self) -> usize {
+        match self {
+            Phase::Coarsen => 0,
+            Phase::Initial => 1,
+            Phase::Refine => 2,
+        }
+    }
+
+    /// Stable lowercase name used in reports and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Coarsen => "coarsen",
+            Phase::Initial => "initial",
+            Phase::Refine => "refine",
+        }
+    }
+}
+
+/// A monotonic behavioural counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Refinement moves evaluated against the balance model.
+    MovesAttempted,
+    /// Refinement moves actually applied.
+    MovesCommitted,
+    /// Parallel matching proposals that lost grant arbitration or were
+    /// withheld by the reservation scheme.
+    MatchConflicts,
+}
+
+const COUNTERS: [Counter; 3] = [
+    Counter::MovesAttempted,
+    Counter::MovesCommitted,
+    Counter::MatchConflicts,
+];
+
+impl Counter {
+    fn index(self) -> usize {
+        match self {
+            Counter::MovesAttempted => 0,
+            Counter::MovesCommitted => 1,
+            Counter::MatchConflicts => 2,
+        }
+    }
+
+    /// Stable snake_case name used in reports and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MovesAttempted => "moves_attempted",
+            Counter::MovesCommitted => "moves_committed",
+            Counter::MatchConflicts => "match_conflicts",
+        }
+    }
+}
+
+/// Accumulated per-phase wall time and counters for one run (or one
+/// aggregation of runs).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseReport {
+    times_ns: [u64; PHASES.len()],
+    counters: [u64; COUNTERS.len()],
+}
+
+impl PhaseReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wall time attributed to `phase`, in seconds.
+    pub fn seconds(&self, phase: Phase) -> f64 {
+        self.times_ns[phase.index()] as f64 * 1e-9
+    }
+
+    /// Total wall time across all phases, in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.times_ns.iter().sum::<u64>() as f64 * 1e-9
+    }
+
+    /// Current value of `counter`.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Adds `other`'s times and counters into this report.
+    pub fn merge(&mut self, other: &PhaseReport) {
+        for i in 0..self.times_ns.len() {
+            self.times_ns[i] += other.times_ns[i];
+        }
+        for i in 0..self.counters.len() {
+            self.counters[i] += other.counters[i];
+        }
+    }
+
+    /// One-line human-readable summary, e.g.
+    /// `coarsen 0.012s | initial 0.003s | refine 0.020s | moves 812/1024 | conflicts 3`.
+    pub fn render(&self) -> String {
+        format!(
+            "coarsen {:.3}s | initial {:.3}s | refine {:.3}s | moves {}/{} | conflicts {}",
+            self.seconds(Phase::Coarsen),
+            self.seconds(Phase::Initial),
+            self.seconds(Phase::Refine),
+            self.counter(Counter::MovesCommitted),
+            self.counter(Counter::MovesAttempted),
+            self.counter(Counter::MatchConflicts),
+        )
+    }
+}
+
+impl ToJson for PhaseReport {
+    fn to_json(&self) -> Json {
+        let mut obj: Vec<(String, Json)> = Vec::new();
+        for p in PHASES {
+            obj.push((format!("{}_s", p.name()), Json::Float(self.seconds(p))));
+        }
+        for c in COUNTERS {
+            obj.push((c.name().to_string(), Json::UInt(self.counter(c))));
+        }
+        Json::Obj(obj)
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<PhaseReport> = RefCell::new(PhaseReport::new());
+}
+
+/// Adds `n` to `counter` in the current thread's tally.
+#[inline]
+pub fn counter_add(counter: Counter, n: u64) {
+    if n > 0 {
+        LOCAL.with(|l| l.borrow_mut().counters[counter.index()] += n);
+    }
+}
+
+/// Adds an externally measured duration to `phase` in the current thread's
+/// tally.
+pub fn time_add(phase: Phase, elapsed: Duration) {
+    LOCAL.with(|l| l.borrow_mut().times_ns[phase.index()] += elapsed.as_nanos() as u64);
+}
+
+/// Runs `f`, attributing its wall time to `phase`.
+pub fn timed<T>(phase: Phase, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    time_add(phase, start.elapsed());
+    out
+}
+
+/// Drains and returns the current thread's tally (drivers call this right
+/// after a run; call it before the run too if earlier activity on the
+/// thread must not leak in).
+pub fn take_local() -> PhaseReport {
+    LOCAL.with(|l| std::mem::take(&mut *l.borrow_mut()))
+}
+
+/// Adds `report` into the current thread's tally (used by the pool to
+/// forward worker tallies, and by drivers aggregating sub-runs).
+pub fn merge_local(report: &PhaseReport) {
+    LOCAL.with(|l| l.borrow_mut().merge(report));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_attributes_wall_time() {
+        let _ = take_local();
+        let out = timed(Phase::Coarsen, || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(out, 42);
+        let r = take_local();
+        assert!(r.seconds(Phase::Coarsen) >= 0.004, "{}", r.seconds(Phase::Coarsen));
+        assert_eq!(r.seconds(Phase::Refine), 0.0);
+        assert!(r.total_seconds() >= r.seconds(Phase::Coarsen));
+    }
+
+    #[test]
+    fn counters_accumulate_and_drain() {
+        let _ = take_local();
+        counter_add(Counter::MovesAttempted, 3);
+        counter_add(Counter::MovesAttempted, 2);
+        counter_add(Counter::MovesCommitted, 1);
+        let r = take_local();
+        assert_eq!(r.counter(Counter::MovesAttempted), 5);
+        assert_eq!(r.counter(Counter::MovesCommitted), 1);
+        // Drained: a second take sees a fresh tally.
+        assert_eq!(take_local(), PhaseReport::new());
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = PhaseReport::new();
+        a.times_ns[0] = 10;
+        a.counters[1] = 4;
+        let mut b = PhaseReport::new();
+        b.times_ns[0] = 5;
+        b.counters[1] = 6;
+        a.merge(&b);
+        assert_eq!(a.times_ns[0], 15);
+        assert_eq!(a.counters[1], 10);
+    }
+
+    #[test]
+    fn report_serialises_with_stable_keys() {
+        let _ = take_local();
+        counter_add(Counter::MatchConflicts, 7);
+        let s = take_local().to_json().to_string();
+        assert!(s.contains("\"coarsen_s\":"), "{s}");
+        assert!(s.contains("\"match_conflicts\":7"), "{s}");
+    }
+
+    #[test]
+    fn render_mentions_every_phase() {
+        let r = PhaseReport::new();
+        let s = r.render();
+        for key in ["coarsen", "initial", "refine", "moves", "conflicts"] {
+            assert!(s.contains(key), "{s}");
+        }
+    }
+}

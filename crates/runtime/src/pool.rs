@@ -1,0 +1,147 @@
+//! Scoped worker pool over index ranges.
+//!
+//! The parallel partitioner's supersteps all have the same shape: `p`
+//! independent units of work whose outputs must be merged *in unit order*
+//! so that parallel execution never changes the result. [`map`] and
+//! [`for_each`] provide exactly that: work units are claimed from a shared
+//! atomic counter (so uneven units balance), results land in their own
+//! slot, and [`crate::phase`] counters incremented on worker threads are
+//! merged back into the caller's thread-local tally — instrumented code
+//! deep inside a work unit needs no plumbing to stay observable.
+//!
+//! Thread count: `min(available_parallelism, units)`, overridable with the
+//! `MCGP_THREADS` environment variable (`MCGP_THREADS=1` forces serial
+//! execution, which is also the fallback for tiny inputs).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads a parallel region will use for `units` work
+/// units: `min(units, available_parallelism)`, capped by `MCGP_THREADS`
+/// when set.
+pub fn threads_for(units: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cap = std::env::var("MCGP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(hw);
+    cap.min(hw).min(units).max(1)
+}
+
+/// Applies `f` to every index in `0..n` on the pool and returns the
+/// results **in index order**. `f` must be safe to call concurrently from
+/// several threads; determinism of the merged output is guaranteed by the
+/// ordered merge, not by scheduling.
+pub fn map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let nthreads = threads_for(n);
+    if nthreads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, T)>> = Vec::new();
+    let mut reports: Vec<crate::phase::PhaseReport> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nthreads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    // Fresh thread ⇒ its thread-local phase tally holds
+                    // exactly this worker's increments.
+                    (local, crate::phase::take_local())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (local, report) = h.join().expect("pool worker panicked");
+            buckets.push(local);
+            reports.push(report);
+        }
+    });
+    for r in reports {
+        crate::phase::merge_local(&r);
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in buckets.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("pool produced every index"))
+        .collect()
+}
+
+/// Runs `f` for every index in `0..n` on the pool, discarding results.
+pub fn for_each<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    map(n, |i| f(i));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_index_order() {
+        let out = map(257, |i| i * i);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn map_runs_every_index_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let out = map(100, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn parallel_matches_serial_result() {
+        let serial: Vec<u64> = (0..64)
+            .map(|i| crate::rng::Rng::seed_from_u64(i as u64).next_u64())
+            .collect();
+        let parallel = map(64, |i| crate::rng::Rng::seed_from_u64(i as u64).next_u64());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn worker_phase_counters_merge_into_caller() {
+        use crate::phase::{counter_add, take_local, Counter};
+        let _ = take_local(); // clean slate for this test thread
+        for_each(40, |_| counter_add(Counter::MovesAttempted, 1));
+        let report = take_local();
+        assert_eq!(report.counter(Counter::MovesAttempted), 40);
+    }
+
+    #[test]
+    fn threads_for_respects_bounds() {
+        assert_eq!(threads_for(0), 1);
+        assert_eq!(threads_for(1), 1);
+        assert!(threads_for(1 << 20) >= 1);
+    }
+}

@@ -10,8 +10,7 @@
 
 use mcgp::graph::generators::{grid_2d, mrng_like};
 use mcgp::order::{nested_dissection, symbolic_fill, OrderingConfig};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use mcgp_runtime::rng::{Rng, SliceRandom};
 
 fn main() {
     println!("graph              ordering            fill (new nonzeros)");
@@ -22,7 +21,7 @@ fn main() {
     ] {
         let natural: Vec<u32> = (0..g.nvtxs() as u32).collect();
         let mut random = natural.clone();
-        random.shuffle(&mut rand_chacha::ChaCha8Rng::seed_from_u64(7));
+        random.shuffle(&mut Rng::seed_from_u64(7));
         let nd = nested_dissection(&g, &OrderingConfig::default());
 
         let fills = [

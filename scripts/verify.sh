@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the workspace must build and test hermetically —
+# no network, no registry, no external crates (see DESIGN.md, "Hermetic
+# runtime"). Run from anywhere; operates on the repo this script lives in.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace

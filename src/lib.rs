@@ -10,6 +10,9 @@
 //!   Euro-Par 2000, on a BSP logical-processor substrate ([`mcgp_parallel`]).
 //! * [`harness`] — experiment drivers regenerating every table and figure of
 //!   the paper ([`mcgp_harness`]).
+//! * [`runtime`] — the hermetic zero-dependency substrate everything above
+//!   runs on: deterministic RNG, scoped thread pool, JSON, phase timers
+//!   ([`mcgp_runtime`]).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -20,3 +23,4 @@ pub use mcgp_graph as graph;
 pub use mcgp_harness as harness;
 pub use mcgp_order as order;
 pub use mcgp_parallel as parallel;
+pub use mcgp_runtime as runtime;

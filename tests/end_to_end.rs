@@ -108,7 +108,7 @@ fn seeds_change_results_but_quality_band_holds() {
     // is larger, so only guard against order-of-magnitude instability.
     let min = *cuts.iter().min().unwrap() as f64;
     let max = *cuts.iter().max().unwrap() as f64;
-    assert!(max / min < 1.6, "cut spread too wide: {cuts:?}");
+    assert!(max / min < 2.5, "cut spread too wide: {cuts:?}");
 }
 
 #[test]

@@ -51,9 +51,9 @@ impl EvolvingWorkload {
             in_plume[v as usize] = true;
         }
         let mut vwgt = Vec::with_capacity(self.mesh.nvtxs() * 2);
-        for v in 0..self.mesh.nvtxs() {
+        for &p in &in_plume {
             vwgt.push(1); // background
-            vwgt.push(if in_plume[v] { 8 } else { 0 }); // plume work
+            vwgt.push(if p { 8 } else { 0 }); // plume work
         }
         self.mesh.clone().with_vwgt(2, vwgt).expect("sized by construction")
     }

@@ -13,21 +13,25 @@ use mcgp_runtime::Json;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// A benchmark session: sample count and an optional name filter.
+/// A benchmark session: sample count, an optional name filter, and whether
+/// to collect trace-event counts alongside the timings.
 pub struct Bench {
     samples: usize,
     filter: Option<String>,
+    trace: bool,
 }
 
 impl Bench {
     /// Builds a session from the process arguments, as `cargo bench`
     /// invokes a `harness = false` target: `--samples <n>` overrides the
-    /// default of 10, a bare argument filters benchmarks by substring of
+    /// default of 10, `--trace` attaches per-event-name trace counts to
+    /// every record, a bare argument filters benchmarks by substring of
     /// `group/name`, and cargo's own flags (`--bench`, `--exact`) are
     /// ignored.
     pub fn from_args() -> Bench {
         let mut samples = 10usize;
         let mut filter = None;
+        let mut trace = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -38,12 +42,17 @@ impl Bench {
                         .filter(|&n| n > 0)
                         .unwrap_or(samples)
                 }
+                "--trace" => trace = true,
                 "--bench" | "--exact" => {}
                 other if !other.starts_with('-') => filter = Some(other.to_string()),
                 _ => {}
             }
         }
-        Bench { samples, filter }
+        Bench {
+            samples,
+            filter,
+            trace,
+        }
     }
 
     /// Session with an explicit sample count (tests).
@@ -51,7 +60,14 @@ impl Bench {
         Bench {
             samples: samples.max(1),
             filter: None,
+            trace: false,
         }
+    }
+
+    /// Enables or disables per-record trace-event counts (tests).
+    pub fn with_trace(mut self, on: bool) -> Bench {
+        self.trace = on;
+        self
     }
 
     /// Times `f`: one warmup call, then `samples` timed calls. Emits the
@@ -65,6 +81,17 @@ impl Bench {
             }
         }
         black_box(f()); // warmup
+        // With --trace, the warmup's events are discarded and tracing stays
+        // on for the timed samples; the per-event-name counts of all samples
+        // are attached to the record. Timings then include the (small)
+        // tracing overhead — comparable across benchmarks, not with runs
+        // that have tracing off.
+        let mut event_counts: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        if self.trace {
+            mcgp_runtime::trace::set_enabled(true);
+            let _ = mcgp_runtime::trace::take_local();
+        }
         let mut times: Vec<f64> = (0..self.samples)
             .map(|_| {
                 let t0 = Instant::now();
@@ -72,6 +99,12 @@ impl Bench {
                 t0.elapsed().as_secs_f64()
             })
             .collect();
+        if self.trace {
+            mcgp_runtime::trace::set_enabled(false);
+            for ev in mcgp_runtime::trace::take_local() {
+                *event_counts.entry(ev.name).or_insert(0) += 1;
+            }
+        }
         times.sort_by(f64::total_cmp);
         let median = if times.len() % 2 == 1 {
             times[times.len() / 2]
@@ -79,13 +112,24 @@ impl Bench {
             (times[times.len() / 2 - 1] + times[times.len() / 2]) / 2.0
         };
         let (min, max) = (times[0], *times.last().unwrap());
-        let record = Json::obj([
+        let mut record = Json::obj([
             ("bench", Json::Str(id.clone())),
             ("samples", Json::UInt(self.samples as u64)),
             ("median_s", Json::Float(median)),
             ("min_s", Json::Float(min)),
             ("max_s", Json::Float(max)),
         ]);
+        if self.trace {
+            let counts = Json::Obj(
+                event_counts
+                    .into_iter()
+                    .map(|(name, n)| (name.to_string(), Json::UInt(n)))
+                    .collect(),
+            );
+            if let Json::Obj(fields) = &mut record {
+                fields.push(("trace_events".to_string(), counts));
+            }
+        }
         println!("{record}");
         eprintln!("{id:<44} median {median:>9.4}s  min {min:>9.4}s  max {max:>9.4}s  n={}", self.samples);
         Some(median)
@@ -110,10 +154,24 @@ mod tests {
     }
 
     #[test]
+    fn trace_mode_collects_and_drains_events() {
+        let b = Bench::with_samples(2).with_trace(true);
+        let m = b.run("test", "traced", || {
+            mcgp_runtime::event!("bench_tick", i = 1u64);
+            1
+        });
+        assert!(m.is_some());
+        // run() turns tracing back off and drains the buffer it counted.
+        assert!(!mcgp_runtime::trace::enabled());
+        assert!(mcgp_runtime::trace::take_local().is_empty());
+    }
+
+    #[test]
     fn filter_skips_nonmatching_names() {
         let b = Bench {
             samples: 1,
             filter: Some("only-this".to_string()),
+            trace: false,
         };
         assert!(b.run("test", "other", || 1).is_none());
         assert!(b.run("test", "only-this", || 1).is_some());

@@ -17,14 +17,33 @@ use mcgp_runtime::rng::Rng;
 pub fn part_weights(graph: &Graph, assignment: &[u32], nparts: usize) -> Vec<i64> {
     let ncon = graph.ncon();
     let mut pw = vec![0i64; nparts * ncon];
-    for v in 0..graph.nvtxs() {
-        let p = assignment[v] as usize;
+    for (v, &p) in assignment.iter().enumerate() {
+        let p = p as usize;
         let row = &mut pw[p * ncon..(p + 1) * ncon];
         for (i, &w) in graph.vwgt(v).iter().enumerate() {
             row[i] += w;
         }
     }
     pw
+}
+
+/// Per-constraint imbalance (max part load over average) from a flattened
+/// part-weight matrix — cheap enough to emit per uncoarsening level when
+/// tracing. Empty constraints report 1.0.
+pub fn imbalances_from_pw(pw: &[i64], ncon: usize, model: &BalanceModel) -> Vec<f64> {
+    let nparts = model.nparts();
+    (0..ncon)
+        .map(|i| {
+            let t = model.totals()[i];
+            if t == 0 {
+                return 1.0;
+            }
+            let avg = t as f64 / nparts as f64;
+            (0..nparts)
+                .map(|p| pw[p * ncon + i] as f64 / avg)
+                .fold(0.0, f64::max)
+        })
+        .collect()
 }
 
 /// Per-part, per-constraint balance limits for a k-way partition.
@@ -119,9 +138,9 @@ impl BalanceModel {
     pub fn max_load(&self, pw: &[i64]) -> f64 {
         let mut worst: f64 = 1.0;
         for row in pw.chunks_exact(self.ncon) {
-            for i in 0..self.ncon {
-                if self.avg[i] > 0.0 {
-                    worst = worst.max(row[i] as f64 / self.avg[i]);
+            for (&w, &avg) in row.iter().zip(&self.avg) {
+                if avg > 0.0 {
+                    worst = worst.max(w as f64 / avg);
                 }
             }
         }
@@ -133,10 +152,10 @@ impl BalanceModel {
     pub fn worst_violation(&self, pw: &[i64]) -> Option<(usize, usize)> {
         let mut worst: Option<(usize, usize, f64)> = None;
         for (p, row) in pw.chunks_exact(self.ncon).enumerate() {
-            for i in 0..self.ncon {
-                if row[i] > self.limits[i] && self.avg[i] > 0.0 {
-                    let over = row[i] as f64 / self.avg[i];
-                    if worst.map_or(true, |(_, _, o)| over > o) {
+            for (i, &w) in row.iter().enumerate() {
+                if w > self.limits[i] && self.avg[i] > 0.0 {
+                    let over = w as f64 / self.avg[i];
+                    if worst.is_none_or(|(_, _, o)| over > o) {
                         worst = Some((p, i, over));
                     }
                 }
@@ -182,8 +201,8 @@ pub fn rebalance(
     // Normalised excess of one part row above its caps.
     let excess = |row: &[i64]| -> f64 {
         let mut e = 0.0;
-        for i in 0..ncon {
-            let over = row[i] - model.limits()[i];
+        for (i, &w) in row.iter().enumerate() {
+            let over = w - model.limits()[i];
             if over > 0 && model.totals()[i] > 0 {
                 e += over as f64 * nparts as f64 / model.totals()[i] as f64;
             }
@@ -231,7 +250,7 @@ pub fn rebalance(
                 let gain = conn[b] - internal;
                 let dest_row = &pw[b * ncon..(b + 1) * ncon];
                 if model.fits(dest_row, vw) {
-                    if best_fit.map_or(true, |(g, _, _)| gain > g) {
+                    if best_fit.is_none_or(|(g, _, _)| gain > g) {
                         *best_fit = Some((gain, v, b));
                     }
                 } else {
@@ -246,7 +265,7 @@ pub fn rebalance(
                         - excess(src_row)
                         - excess(dest_row);
                     if delta < -1e-12
-                        && best_relax.map_or(true, |(d, g, _, _)| {
+                        && best_relax.is_none_or(|(d, g, _, _)| {
                             delta < d - 1e-12 || ((delta - d).abs() <= 1e-12 && gain > g)
                         })
                     {
@@ -389,7 +408,7 @@ mod tests {
     #[test]
     fn rebalance_noop_when_already_balanced() {
         let g = grid_2d(8, 8);
-        let mut assignment: Vec<u32> = (0..64u32).map(|v| (v % 8 / 4) as u32).collect();
+        let mut assignment: Vec<u32> = (0..64u32).map(|v| v % 8 / 4).collect();
         let model = BalanceModel::new(&g, 2, 0.05);
         let mut pw = part_weights(&g, &assignment, 2);
         let before = assignment.clone();

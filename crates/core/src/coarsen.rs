@@ -10,7 +10,9 @@ use crate::config::PartitionConfig;
 use crate::matching::{match_graph, GraphMatching};
 use mcgp_graph::csr::Vertex;
 use mcgp_graph::Graph;
+use mcgp_runtime::phase::{counter_add, Counter};
 use mcgp_runtime::rng::Rng;
+use mcgp_runtime::span;
 
 /// One coarsening step: the coarse graph and the fine→coarse vertex map.
 #[derive(Clone, Debug)]
@@ -141,16 +143,33 @@ pub fn coarsen(
     const MAX_LEVELS: usize = 64;
     let mut levels: Vec<CoarseLevel> = Vec::new();
     loop {
+        let lvl = levels.len();
         let cur = levels.last().map_or(graph, |l| &l.graph);
-        if cur.nvtxs() <= target || levels.len() >= MAX_LEVELS {
+        if cur.nvtxs() <= target || lvl >= MAX_LEVELS {
             break;
         }
+        let mut sp = span!(
+            "coarsen_level",
+            level = lvl,
+            nvtxs = cur.nvtxs(),
+            nedges = cur.nedges(),
+        );
         let matching = match_graph(cur, config.matching, rng);
         // Stall: a level that barely shrinks isn't worth its cost.
         if matching.coarse_nvtxs as f64 > 0.95 * cur.nvtxs() as f64 {
+            counter_add(Counter::ContractionAborts, 1);
+            sp.record("aborted", 1u64);
             break;
         }
+        counter_add(
+            Counter::VerticesMatched,
+            2 * (cur.nvtxs() - matching.coarse_nvtxs) as u64,
+        );
         let (coarse, cmap) = contract(cur, &matching);
+        sp.record("coarse_nvtxs", coarse.nvtxs());
+        sp.record("coarse_nedges", coarse.nedges());
+        sp.record("ratio", coarse.nvtxs() as f64 / cur.nvtxs() as f64);
+        drop(sp);
         levels.push(CoarseLevel {
             graph: coarse,
             cmap,

@@ -75,8 +75,8 @@ impl TwoWayBalance {
     /// Side weights (`2 * ncon` flattened) for an assignment.
     pub fn side_weights(&self, graph: &Graph, side: &[u32]) -> Vec<i64> {
         let mut sw = vec![0i64; 2 * self.ncon];
-        for v in 0..graph.nvtxs() {
-            let s = side[v] as usize;
+        for (v, &s) in side.iter().enumerate() {
+            let s = s as usize;
             for (i, &w) in graph.vwgt(v).iter().enumerate() {
                 sw[s * self.ncon + i] += w;
             }
@@ -130,9 +130,9 @@ impl TwoWayBalance {
     fn dominant(&self, vw: &[i64]) -> usize {
         let mut best = 0usize;
         let mut bestval = f64::NEG_INFINITY;
-        for i in 0..self.ncon {
+        for (i, &w) in vw.iter().enumerate() {
             if self.tot[i] > 0 {
-                let x = vw[i] as f64 / self.tot[i] as f64;
+                let x = w as f64 / self.tot[i] as f64;
                 if x > bestval {
                     bestval = x;
                     best = i;
@@ -192,8 +192,9 @@ pub fn fm_refine_bisection(
     let mut total_moves = 0usize;
     let mut passes = 0usize;
 
-    for _pass in 0..config.fm_passes {
+    for pass in 0..config.fm_passes {
         passes += 1;
+        let mut sp = mcgp_runtime::span!("fm_pass", pass = pass, nvtxs = n, cut_before = cut);
         // (Re)compute gains and fill queues in random order.
         order.shuffle(rng);
         for q in queues.iter_mut() {
@@ -226,10 +227,7 @@ pub fn fm_refine_bisection(
         let mut best_load = bal.load(&sw);
         let mut since_best = 0usize;
 
-        loop {
-            let Some(v) = select_move(&bal, &sw, &mut queues, graph, ncon) else {
-                break;
-            };
+        while let Some(v) = select_move(&bal, &sw, &mut queues, graph, ncon) {
             let from = side[v as usize] as usize;
             let vw = graph.vwgt(v as usize);
             // Apply tentatively.
@@ -299,6 +297,10 @@ pub fn fm_refine_bisection(
         total_moves += best_prefix;
         debug_assert_eq!(cut, cut_of(graph, side), "cut bookkeeping drifted");
 
+        sp.record("tentative_moves", seq.len());
+        sp.record("kept_moves", best_prefix);
+        sp.record("cut_after", cut);
+        drop(sp);
         if best_prefix == 0 {
             break; // local minimum
         }
@@ -336,10 +338,7 @@ fn select_move(
     }
     for q in candidates {
         let side_of_q = q / ncon;
-        loop {
-            let Some((v, _)) = queues[q].peek() else {
-                break;
-            };
+        while let Some((v, _)) = queues[q].peek() {
             queues[q].pop();
             if bal.move_fits(sw, graph.vwgt(v as usize), side_of_q) {
                 return Some(v);

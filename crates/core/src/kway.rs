@@ -8,7 +8,9 @@ use crate::config::PartitionConfig;
 use crate::kway_refine::greedy_kway_refine;
 use crate::rb::recursive_bisection_assignment;
 use crate::PartitionResult;
+use crate::balance::imbalances_from_pw;
 use mcgp_graph::Graph;
+use mcgp_runtime::event;
 use mcgp_runtime::phase::{timed, Phase};
 use mcgp_runtime::rng::Rng;
 
@@ -37,18 +39,27 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
 
     // Phase 3: uncoarsening with refinement (and explicit balancing when a
     // level starts outside the caps).
-    let refine_on = |g: &Graph, assignment: &mut Vec<u32>, rng: &mut Rng| {
+    let refine_on = |lvl: usize, g: &Graph, assignment: &mut Vec<u32>, rng: &mut Rng| {
         let model = BalanceModel::new(g, nparts, config.imbalance_tol);
         let mut pw = part_weights(g, assignment, nparts);
         if !model.is_balanced(&pw) {
             rebalance(g, assignment, &mut pw, &model, rng);
         }
         greedy_kway_refine(g, assignment, &mut pw, &model, config.refine_iters, rng);
+        // Field expressions (cut recount, imbalance scan) are only
+        // evaluated when tracing is enabled.
+        event!(
+            "uncoarsen_level",
+            level = lvl,
+            nvtxs = g.nvtxs(),
+            cut = mcgp_graph::metrics::edge_cut_raw(g, assignment),
+            imbalance = imbalances_from_pw(&pw, g.ncon(), &model),
+        );
     };
 
     // Refine the initial partitioning on the coarsest graph itself.
     timed(Phase::Refine, || {
-        refine_on(coarsest, &mut assignment, &mut rng);
+        refine_on(levels, coarsest, &mut assignment, &mut rng);
         for lvl in (0..levels).rev() {
             assignment = hierarchy.project(lvl, &assignment);
             let finer = if lvl == 0 {
@@ -56,7 +67,7 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
             } else {
                 &hierarchy.levels()[lvl - 1].graph
             };
-            refine_on(finer, &mut assignment, &mut rng);
+            refine_on(lvl, finer, &mut assignment, &mut rng);
         }
 
         // Final feasibility passes at the finest level: alternate balancing

@@ -12,6 +12,7 @@ use mcgp_graph::Graph;
 use mcgp_runtime::phase::{counter_add, Counter};
 use mcgp_runtime::rng::SliceRandom;
 use mcgp_runtime::rng::Rng;
+use mcgp_runtime::{metrics, span};
 
 /// Statistics of a k-way refinement call.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -42,10 +43,13 @@ pub fn greedy_kway_refine(
     let mut touched: Vec<usize> = Vec::with_capacity(16);
     let mut order: Vec<u32> = (0..n as u32).collect();
 
-    for _ in 0..iters {
+    for pass in 0..iters {
         stats.iterations += 1;
+        let mut sp = span!("refine_pass", pass = pass, nvtxs = n);
         order.shuffle(rng);
         let mut moved_this_iter = 0usize;
+        let mut attempted_this_iter = 0usize;
+        let mut boundary_this_iter = 0usize;
         for &v in &order {
             let v = v as usize;
             let a = assignment[v] as usize;
@@ -68,6 +72,7 @@ pub fn greedy_kway_refine(
             if !is_boundary {
                 continue;
             }
+            boundary_this_iter += 1;
             let vw = graph.vwgt(v);
             // Never empty a subdomain: if v is the last vertex of its part
             // (all of the part's weight is v's own), it must stay.
@@ -77,6 +82,7 @@ pub fn greedy_kway_refine(
             }
             // Best destination by (gain, balance improvement).
             counter_add(Counter::MovesAttempted, 1);
+            attempted_this_iter += 1;
             let mut best: Option<(i64, f64, usize)> = None;
             let load_a_before = part_load(model, pw, ncon, a);
             for &b in &touched {
@@ -117,9 +123,14 @@ pub fn greedy_kway_refine(
                 moved_this_iter += 1;
                 stats.gain += gain;
                 counter_add(Counter::MovesCommitted, 1);
+                metrics::histogram_record("kway_gain", gain);
             }
         }
         stats.moves += moved_this_iter;
+        sp.record("boundary", boundary_this_iter);
+        sp.record("moves_attempted", attempted_this_iter);
+        sp.record("moves_committed", moved_this_iter);
+        metrics::gauge_set("boundary_size", boundary_this_iter as i64);
         if moved_this_iter == 0 {
             break; // local minimum
         }

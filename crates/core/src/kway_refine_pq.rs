@@ -60,7 +60,7 @@ pub fn pq_kway_refine(
                 continue;
             }
             let gain = conn[b] - internal;
-            if gain > 0 && best.map_or(true, |(g, _)| gain > g) {
+            if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
                 best = Some((gain, b));
             }
         }

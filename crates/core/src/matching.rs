@@ -88,7 +88,7 @@ fn pick_heavy(graph: &Graph, v: usize, matched: &[bool]) -> Option<usize> {
     let mut best: Option<(i64, usize)> = None;
     for (u, w) in graph.edges(v) {
         let u = u as usize;
-        if !matched[u] && best.map_or(true, |(bw, _)| w > bw) {
+        if !matched[u] && best.is_none_or(|(bw, _)| w > bw) {
             best = Some((w, u));
         }
     }
@@ -112,8 +112,8 @@ fn pick_balanced_heavy(
         if matched[u] {
             continue;
         }
-        let better_weight = best.map_or(true, |(bw, _, _)| w > bw);
-        let tied_weight = best.map_or(false, |(bw, _, _)| w == bw);
+        let better_weight = best.is_none_or(|(bw, _, _)| w > bw);
+        let tied_weight = best.is_some_and(|(bw, _, _)| w == bw);
         if !better_weight && !tied_weight {
             continue;
         }
@@ -126,7 +126,7 @@ fn pick_balanced_heavy(
             hi = hi.max(c);
         }
         let spread = if ncon > 1 { hi - lo } else { 0.0 };
-        if better_weight || best.map_or(true, |(_, bs, _)| spread < bs) {
+        if better_weight || best.is_none_or(|(_, bs, _)| spread < bs) {
             best = Some((w, spread, u));
         }
     }

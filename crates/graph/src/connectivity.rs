@@ -88,11 +88,11 @@ pub fn bfs_regions(graph: &Graph, nregions: usize, seed: u64) -> Vec<u32> {
     }
     // Disconnected leftovers: inherit from the last labelled vertex seen.
     let mut last = 0u32;
-    for v in 0..n {
-        if region[v] == u32::MAX {
-            region[v] = last;
+    for r in region.iter_mut().take(n) {
+        if *r == u32::MAX {
+            *r = last;
         } else {
-            last = region[v];
+            last = *r;
         }
     }
     region

@@ -106,7 +106,7 @@ mod tests {
     fn grid_3d_corner_and_center_degrees() {
         let g = grid_3d(3, 3, 3);
         assert_eq!(g.degree(0), 3);
-        let center = (1 * 3 + 1) * 3 + 1;
+        let center = (3 + 1) * 3 + 1;
         assert_eq!(g.degree(center), 6);
     }
 }

@@ -68,7 +68,7 @@ pub fn mrng_like_with_coords(target_nvtxs: usize, seed: u64) -> (Graph, Vec<[f32
     let side = (target_nvtxs as f64).cbrt();
     let nx = side.round().max(2.0) as usize;
     let ny = side.round().max(2.0) as usize;
-    let nz = (target_nvtxs + nx * ny - 1) / (nx * ny);
+    let nz = target_nvtxs.div_ceil(nx * ny);
     let nz = nz.max(2);
     let n = nx * ny * nz;
 

@@ -61,9 +61,9 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph> {
         });
     }
     let fmt_num: usize = fmt.parse().unwrap_or(0);
-    let has_vsize = fmt_num / 100 % 10 != 0;
-    let has_vwgt = fmt_num / 10 % 10 != 0;
-    let has_ewgt = fmt_num % 10 != 0;
+    let has_vsize = !(fmt_num / 100).is_multiple_of(10);
+    let has_vwgt = !(fmt_num / 10).is_multiple_of(10);
+    let has_ewgt = !fmt_num.is_multiple_of(10);
     if has_vsize {
         return Err(GraphError::Parse {
             line: header_line_no,
@@ -79,10 +79,8 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph> {
             });
         }
         n
-    } else if has_vwgt {
-        1
     } else {
-        1 // unit weights, single constraint
+        1 // with or without vertex weights: a single constraint
     };
 
     let mut xadj = Vec::with_capacity(nvtxs + 1);
@@ -127,10 +125,9 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph> {
                 vwgt.push(w);
             }
         } else {
-            vwgt.extend(std::iter::repeat(1).take(ncon));
+            vwgt.extend(std::iter::repeat_n(1, ncon));
         }
-        loop {
-            let Some(tok) = tokens.next() else { break };
+        while let Some(tok) = tokens.next() {
             let u: usize = tok.parse().map_err(|_| GraphError::Parse {
                 line: no + 1,
                 msg: format!("invalid neighbor id `{tok}`"),

@@ -21,8 +21,8 @@ pub fn permute(graph: &Graph, iperm: &[u32]) -> Graph {
     let mut adjncy: Vec<Vertex> = Vec::with_capacity(graph.adjacency_len());
     let mut adjwgt: Vec<i64> = Vec::with_capacity(graph.adjacency_len());
     let mut vwgt = Vec::with_capacity(n * ncon);
-    for new in 0..n {
-        let old = perm[new] as usize;
+    for &old in perm.iter().take(n) {
+        let old = old as usize;
         for (u, w) in graph.edges(old) {
             adjncy.push(iperm[u as usize]);
             adjwgt.push(w);

@@ -23,9 +23,9 @@ pub fn induced_subgraph(parent: &Graph, select: impl Fn(usize) -> bool) -> Subgr
     let ncon = parent.ncon();
     let mut to_parent: Vec<Vertex> = Vec::new();
     let mut local = vec![u32::MAX; n];
-    for v in 0..n {
+    for (v, l) in local.iter_mut().enumerate() {
         if select(v) {
-            local[v] = to_parent.len() as u32;
+            *l = to_parent.len() as u32;
             to_parent.push(v as Vertex);
         }
     }

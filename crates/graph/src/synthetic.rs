@@ -64,8 +64,8 @@ pub fn type1_with_regions(graph: &Graph, ncon: usize, regions: &[u32], seed: u64
         *w = rng.gen_range(0..20);
     }
     let mut vwgt = Vec::with_capacity(graph.nvtxs() * ncon);
-    for v in 0..graph.nvtxs() {
-        let r = regions[v] as usize;
+    for &r in regions {
+        let r = r as usize;
         vwgt.extend_from_slice(&region_vec[r * ncon..(r + 1) * ncon]);
     }
     graph
@@ -122,10 +122,10 @@ pub fn type2_with_regions(graph: &Graph, ncon: usize, regions: &[u32], seed: u64
     }
 
     let mut vwgt = Vec::with_capacity(graph.nvtxs() * ncon);
-    for v in 0..graph.nvtxs() {
-        let r = regions[v] as usize;
-        for phase in 0..ncon {
-            vwgt.push(if active[phase][r] { 1 } else { 0 });
+    for &r in regions {
+        let r = r as usize;
+        for phase_active in active.iter().take(ncon) {
+            vwgt.push(if phase_active[r] { 1 } else { 0 });
         }
     }
 
@@ -241,7 +241,7 @@ mod tests {
         let wg = type2(&g, ncon, 11);
         let n = wg.nvtxs() as f64;
         let fractions = active_fractions(ncon);
-        for phase in 0..ncon {
+        for (phase, &scheduled) in fractions.iter().enumerate() {
             let mut active = 0.0;
             for v in 0..wg.nvtxs() {
                 let w = wg.vwgt(v)[phase];
@@ -251,9 +251,8 @@ mod tests {
             let frac = active / n;
             // Regions are only roughly equal-sized, so allow generous slack.
             assert!(
-                (frac - fractions[phase]).abs() < 0.25,
-                "phase {phase}: active fraction {frac} vs scheduled {}",
-                fractions[phase]
+                (frac - scheduled).abs() < 0.25,
+                "phase {phase}: active fraction {frac} vs scheduled {scheduled}"
             );
         }
     }

@@ -5,6 +5,8 @@
 //! mcgp table1|figures|table2|table3|table4|ablation-slices|
 //!      ablation-imbalance|ablation-constraints|all [options]
 //! mcgp partition <file.graph> <k> [--parallel <p>] [--seed <s>] [--outfile <f>]
+//!                [--trace <f>] [--trace-format jsonl|chrome]
+//! mcgp trace-check <trace-file> [--format jsonl|chrome]
 //!
 //! options:
 //!   --scale <N>    generate graphs at 1/N of paper size   [default 16]
@@ -12,6 +14,10 @@
 //!   --procs <list> comma-separated processor counts       [default 32,64,128]
 //!   --out <dir>    also write JSONL records under <dir>
 //! ```
+//!
+//! `partition` and `verify` accept generator pseudo-files in place of a
+//! METIS file: `gen:grid:WxH` (2-D grid) and `gen:mrng:N[:NCON]` (random
+//! geometric graph, optionally lifted to NCON Type-1 constraints).
 
 use mcgp_harness::exp_ablation::{
     constraint_sweep, constraint_text, imbalance_recovery, imbalance_text, slice_ablation,
@@ -102,6 +108,7 @@ fn main() {
         }
         "partition" => run_partition(&opts),
         "verify" => run_verify(&opts),
+        "trace-check" => run_trace_check(&opts),
         other => {
             eprintln!("unknown command `{other}`");
             std::process::exit(2);
@@ -264,15 +271,56 @@ fn run_ablation_constraints(scale: Scale, out: Option<&std::path::Path>) {
     write_records(out, "ablation_constraints", &rows).expect("write records");
 }
 
+/// Loads a graph from a METIS file or a `gen:` pseudo-file
+/// (`gen:grid:WxH`, `gen:mrng:N[:NCON]`).
+fn load_graph(spec: &str, seed: u64) -> mcgp_graph::Graph {
+    let Some(rest) = spec.strip_prefix("gen:") else {
+        return mcgp_graph::io::read_metis_file(spec).unwrap_or_else(|e| {
+            eprintln!("failed to read {spec}: {e}");
+            std::process::exit(1);
+        });
+    };
+    let parts: Vec<&str> = rest.split(':').collect();
+    let parse = |s: &str, what: &str| -> usize {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad {what} `{s}` in generator spec `{spec}`");
+            std::process::exit(2);
+        })
+    };
+    match parts.as_slice() {
+        ["grid", dims] => match dims.split_once('x') {
+            Some((w, h)) => {
+                mcgp_graph::generators::grid_2d(parse(w, "grid width"), parse(h, "grid height"))
+            }
+            None => {
+                eprintln!("generator spec `{spec}` wants gen:grid:WxH");
+                std::process::exit(2);
+            }
+        },
+        ["mrng", n] => mcgp_graph::generators::mrng_like(parse(n, "vertex count"), seed),
+        ["mrng", n, ncon] => mcgp_graph::synthetic::type1(
+            &mcgp_graph::generators::mrng_like(parse(n, "vertex count"), seed),
+            parse(ncon, "constraint count"),
+            seed,
+        ),
+        _ => {
+            eprintln!("unknown generator spec `{spec}` (use gen:grid:WxH or gen:mrng:N[:NCON])");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn run_partition(opts: &Opts) {
-    let usage =
-        "usage: mcgp partition <file.graph> <k> [--parallel <p>] [--seed <s>] [--tol <t>] [--outfile <f>]";
+    let usage = "usage: mcgp partition <file.graph|gen:...> <k> [--parallel <p>] [--seed <s>] \
+                 [--tol <t>] [--outfile <f>] [--trace <f>] [--trace-format jsonl|chrome]";
     let mut file = None;
     let mut k = None;
     let mut parallel = None;
     let mut seed = 4242u64;
     let mut tol = 0.05f64;
     let mut outfile = None;
+    let mut trace_file: Option<String> = None;
+    let mut trace_format = mcgp_runtime::trace::TraceFormat::Jsonl;
     let mut it = opts.rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -282,6 +330,14 @@ fn run_partition(opts: &Opts) {
             "--seed" => seed = it.next().expect(usage).parse().expect("integer"),
             "--tol" => tol = it.next().expect(usage).parse().expect("float"),
             "--outfile" => outfile = Some(it.next().expect(usage).to_string()),
+            "--trace" => trace_file = Some(it.next().expect(usage).to_string()),
+            "--trace-format" => {
+                let name = it.next().expect(usage);
+                trace_format = mcgp_runtime::trace::TraceFormat::parse(name).unwrap_or_else(|| {
+                    eprintln!("unknown trace format `{name}` (jsonl|chrome)");
+                    std::process::exit(2);
+                })
+            }
             other if file.is_none() => file = Some(other.to_string()),
             other if k.is_none() => k = Some(other.parse::<usize>().expect("k must be integer")),
             other => {
@@ -294,10 +350,7 @@ fn run_partition(opts: &Opts) {
         eprintln!("{usage}");
         std::process::exit(2);
     };
-    let graph = mcgp_graph::io::read_metis_file(&file).unwrap_or_else(|e| {
-        eprintln!("failed to read {file}: {e}");
-        std::process::exit(1);
-    });
+    let graph = load_graph(&file, seed);
     eprintln!(
         "{}: {} vertices, {} edges, {} constraint(s)",
         file,
@@ -307,32 +360,99 @@ fn run_partition(opts: &Opts) {
     );
     let mut cfg = mcgp_core::PartitionConfig::default().with_seed(seed);
     cfg.imbalance_tol = tol;
-    let _ = mcgp_runtime::phase::take_local(); // clean slate for the phase report
-    let (assignment, quality) = match parallel {
-        Some(p) => {
-            let mut pcfg = mcgp_parallel::ParallelConfig::new(p);
-            pcfg.serial = cfg;
-            let r = mcgp_parallel::parallel_partition_kway(&graph, k, &pcfg);
-            eprintln!(
-                "parallel (p={p}): modeled time {:.3}s, {} supersteps, {} bytes comm",
-                r.stats.modeled_time_s, r.stats.supersteps, r.stats.comm_bytes
-            );
-            (r.partition.into_assignment(), r.quality)
+    if trace_file.is_some() {
+        let _ = mcgp_runtime::trace::take_local(); // clean slate for the event buffer
+        mcgp_runtime::trace::set_enabled(true);
+    }
+    let ((assignment, quality), report) = mcgp_runtime::phase::PhaseReport::capture(|| {
+        match parallel {
+            Some(p) => {
+                let mut pcfg = mcgp_parallel::ParallelConfig::new(p);
+                pcfg.serial = cfg;
+                let r = mcgp_parallel::parallel_partition_kway(&graph, k, &pcfg);
+                eprintln!(
+                    "parallel (p={p}): modeled time {:.3}s, {} supersteps, {} bytes comm",
+                    r.stats.modeled_time_s, r.stats.supersteps, r.stats.comm_bytes
+                );
+                (r.partition.into_assignment(), r.quality)
+            }
+            None => {
+                let r = mcgp_core::partition_kway(&graph, k, &cfg);
+                (r.partition.into_assignment(), r.quality)
+            }
         }
-        None => {
-            let r = mcgp_core::partition_kway(&graph, k, &cfg);
-            (r.partition.into_assignment(), r.quality)
-        }
-    };
+    });
     println!(
         "edge-cut {}  max-imbalance {:.4}  comm-volume {}",
         quality.edge_cut, quality.max_imbalance, quality.comm_volume
     );
-    eprintln!("{}", mcgp_runtime::phase::take_local().render());
-    let outfile = outfile.unwrap_or_else(|| format!("{file}.part.{k}"));
+    eprintln!("{}", report.render());
+    if let Some(path) = &trace_file {
+        mcgp_runtime::trace::set_enabled(false);
+        let events = mcgp_runtime::trace::take_local();
+        let metrics = mcgp_runtime::metrics::take_local();
+        mcgp_runtime::trace::write_trace_file(&events, trace_format, std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write trace {path}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("wrote {} trace events to {path}", events.len());
+        let m = mcgp_runtime::json::ToJson::to_json(&metrics);
+        eprintln!("metrics: {m}");
+    }
+    let outfile = outfile.unwrap_or_else(|| format!("{}.part.{k}", file.replace(':', "_")));
     let f = std::fs::File::create(&outfile).expect("create output file");
     mcgp_graph::io::write_partition(&assignment, f).expect("write partition");
     eprintln!("wrote {outfile}");
+}
+
+fn run_trace_check(opts: &Opts) {
+    let usage = "usage: mcgp trace-check <trace-file> [--format jsonl|chrome]";
+    let mut file = None;
+    let mut format = None;
+    let mut it = opts.rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => {
+                let name = it.next().expect(usage);
+                format = Some(mcgp_runtime::trace::TraceFormat::parse(name).unwrap_or_else(|| {
+                    eprintln!("unknown trace format `{name}` (jsonl|chrome)");
+                    std::process::exit(2);
+                }))
+            }
+            other if file.is_none() => file = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("failed to read {file}: {e}");
+        std::process::exit(1);
+    });
+    // Infer the format from the content when not given: a Chrome trace is a
+    // single JSON array, JSONL starts with an object.
+    let format = format.unwrap_or(if text.trim_start().starts_with('[') {
+        mcgp_runtime::trace::TraceFormat::Chrome
+    } else {
+        mcgp_runtime::trace::TraceFormat::Jsonl
+    });
+    let checked = match format {
+        mcgp_runtime::trace::TraceFormat::Jsonl => mcgp_runtime::trace::validate_jsonl(&text),
+        mcgp_runtime::trace::TraceFormat::Chrome => mcgp_runtime::trace::validate_chrome(&text),
+    };
+    match checked {
+        Ok(n) => println!("{file}: ok, {n} events ({format:?})"),
+        Err(e) => {
+            eprintln!("{file}: invalid trace: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run_adaptive(scale: Scale, out: Option<&std::path::Path>) {
@@ -350,10 +470,9 @@ fn run_verify(opts: &Opts) {
         eprintln!("{usage}");
         std::process::exit(2);
     };
-    let graph = mcgp_graph::io::read_metis_file(gfile).unwrap_or_else(|e| {
-        eprintln!("failed to read {gfile}: {e}");
-        std::process::exit(1);
-    });
+    // Generator specs use the `partition` default seed, so a partition of a
+    // `gen:` graph verifies against the same graph.
+    let graph = load_graph(gfile, 4242);
     let assignment = mcgp_graph::io::read_partition(
         std::fs::File::open(pfile).unwrap_or_else(|e| {
             eprintln!("failed to open {pfile}: {e}");

@@ -60,10 +60,14 @@ pub fn table2(mesh: &Graph, ks: &[usize], seed: u64) -> Vec<Table2Row> {
     let wg = spec.synthesize(mesh, seed);
     ks.iter()
         .map(|&k| {
-            let serial = parallel_partition_kway(&wg, k, &ParallelConfig::new(1).with_seed(seed));
-            let _ = mcgp_runtime::phase::take_local(); // isolate the p = k run
-            let par = parallel_partition_kway(&wg, k, &ParallelConfig::new(k).with_seed(seed));
-            let phases = mcgp_runtime::phase::take_local();
+            // Each run captured separately: the row reports the p = k run's
+            // tally only, and neither run leaks into the caller's tally.
+            let (serial, _) = mcgp_runtime::phase::PhaseReport::capture(|| {
+                parallel_partition_kway(&wg, k, &ParallelConfig::new(1).with_seed(seed))
+            });
+            let (par, phases) = mcgp_runtime::phase::PhaseReport::capture(|| {
+                parallel_partition_kway(&wg, k, &ParallelConfig::new(k).with_seed(seed))
+            });
             Table2Row {
                 k,
                 serial_time_s: serial.stats.modeled_time_s,

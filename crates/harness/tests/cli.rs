@@ -156,3 +156,111 @@ fn verify_rejects_length_mismatch() {
         .expect("run mcgp verify");
     assert!(!out.status.success());
 }
+
+#[test]
+fn partition_gen_spec_writes_trace_jsonl_that_validates() {
+    let dir = std::env::temp_dir().join("mcgp_cli_trace_jsonl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tpath = dir.join("run.trace.jsonl");
+    let ppath = dir.join("run.part");
+    let out = mcgp()
+        .args([
+            "partition",
+            "gen:grid:24x24",
+            "4",
+            "--trace",
+            tpath.to_str().unwrap(),
+            "--outfile",
+            ppath.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run mcgp partition --trace");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&tpath).unwrap();
+    assert!(!text.trim().is_empty(), "trace file is empty");
+    // Round-trip every line through runtime::json and validate the schema
+    // (required keys, monotonic timestamps, balanced spans).
+    let n = mcgp_runtime::trace::validate_jsonl(&text).expect("schema-clean JSONL trace");
+    assert!(n > 0);
+    // Per-level records: a coarsen span and an uncoarsen event with cut and
+    // per-constraint imbalance must both be present.
+    assert!(text.contains("\"name\":\"coarsen_level\""), "{text}");
+    assert!(text.contains("\"name\":\"uncoarsen_level\""), "{text}");
+    assert!(text.contains("\"cut\":"), "{text}");
+    assert!(text.contains("\"imbalance\":["), "{text}");
+
+    // And `mcgp trace-check` agrees.
+    let chk = mcgp()
+        .args(["trace-check", tpath.to_str().unwrap()])
+        .output()
+        .expect("run mcgp trace-check");
+    assert!(
+        chk.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&chk.stderr)
+    );
+    assert!(String::from_utf8_lossy(&chk.stdout).contains("ok"));
+}
+
+#[test]
+fn partition_parallel_writes_chrome_trace_that_validates() {
+    let dir = std::env::temp_dir().join("mcgp_cli_trace_chrome");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tpath = dir.join("run.trace.json");
+    let ppath = dir.join("run.part");
+    let out = mcgp()
+        .args([
+            "partition",
+            "gen:mrng:1500:2",
+            "8",
+            "--parallel",
+            "4",
+            "--trace",
+            tpath.to_str().unwrap(),
+            "--trace-format",
+            "chrome",
+            "--outfile",
+            ppath.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run mcgp partition --trace --trace-format chrome");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&tpath).unwrap();
+    let n = mcgp_runtime::trace::validate_chrome(&text).expect("schema-clean Chrome trace");
+    assert!(n > 0);
+    // The parallel pipeline's own events made it into the file.
+    assert!(text.contains("match_round"), "{text}");
+    assert!(text.contains("uncoarsen_level"), "{text}");
+
+    let chk = mcgp()
+        .args(["trace-check", tpath.to_str().unwrap(), "--format", "chrome"])
+        .output()
+        .expect("run mcgp trace-check --format chrome");
+    assert!(
+        chk.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&chk.stderr)
+    );
+}
+
+#[test]
+fn trace_check_rejects_garbage() {
+    let dir = std::env::temp_dir().join("mcgp_cli_trace_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tpath = dir.join("bad.jsonl");
+    std::fs::write(&tpath, "{\"ts_ns\":5}\nnot json\n").unwrap();
+    let out = mcgp()
+        .args(["trace-check", tpath.to_str().unwrap()])
+        .output()
+        .expect("run mcgp trace-check");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid trace"));
+}

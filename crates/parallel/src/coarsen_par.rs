@@ -117,10 +117,9 @@ pub fn parallel_contract(
         let mut adjncy: Vec<Vertex> = Vec::new();
         let mut adjwgt: Vec<i64> = Vec::new();
         let mut vwgt = vec![0i64; nlocal * ncon];
-        for c in c_first..c_last {
-            let lc = c - c_first;
+        for (lc, &(v, u)) in reps[c_first..c_last].iter().enumerate() {
+            let c = c_first + lc;
             let row_start = adjncy.len();
-            let (v, u) = reps[c];
             let mut absorb = |fine: usize,
                               adjncy: &mut Vec<Vertex>,
                               adjwgt: &mut Vec<i64>,

@@ -48,6 +48,7 @@ pub fn parallel_initial_partition(
     let runs = runs_executed.clamp(1, p);
     let model = BalanceModel::new(&graph, nparts, config.imbalance_tol);
     let candidates: Vec<(bool, i64, Vec<u32>)> = mcgp_runtime::pool::map(runs, |r| {
+        let mut sp = mcgp_runtime::span!("initial_run", run = r, nvtxs = n);
         let cfg = config.with_seed(config.seed ^ (0x1217 + r as u64));
         let mut rng = Rng::seed_from_u64(cfg.seed);
         let mut assignment = recursive_bisection_assignment(&graph, nparts, &cfg, &mut rng);
@@ -62,6 +63,8 @@ pub fn parallel_initial_partition(
         }
         let feasible = model.is_balanced(&pw);
         let cut = edge_cut_raw(&graph, &assignment);
+        sp.record("cut", cut);
+        sp.record("feasible", u64::from(feasible));
         (feasible, cut, assignment)
     });
     // Winner-selection "allreduce": feasible first, then lowest cut, ties to

@@ -109,9 +109,9 @@ fn compute_pw(
     let ncon = dist.ncon();
     let mut pw = vec![0i64; nparts * ncon];
     let mut comp = vec![0u64; p];
-    for q in 0..p {
+    for (q, comp_q) in comp.iter_mut().enumerate() {
         let lg = dist.local(q);
-        comp[q] = (lg.nlocal() * ncon) as u64;
+        *comp_q = (lg.nlocal() * ncon) as u64;
         for lv in 0..lg.nlocal() {
             let b = part[lg.global(lv)] as usize;
             for (i, &w) in lg.vwgt(lv).iter().enumerate() {
@@ -146,20 +146,29 @@ pub fn parallel_partition_kway(
     let target = (cfg.coarsen_to_per_part * nparts).max(cfg.serial.coarsen_target(nparts));
     let mut levels: Vec<DistLevel> = Vec::new();
     mcgp_runtime::phase::timed(mcgp_runtime::phase::Phase::Coarsen, || loop {
+        let lvl = levels.len();
         let cur = levels.last().map_or(&finest, |l| &l.graph);
-        if cur.nvtxs() <= target || levels.len() >= 64 {
+        if cur.nvtxs() <= target || lvl >= 64 {
             break;
         }
+        let mut sp = mcgp_runtime::span!("coarsen_level", level = lvl, nvtxs = cur.nvtxs());
         let matching = parallel_match(
             cur,
             cfg.serial.matching,
             cfg.match_rounds,
-            seed ^ ((levels.len() as u64) << 40),
+            seed ^ ((lvl as u64) << 40),
             &mut tracker,
         );
         if matching.coarse_nvtxs as f64 > 0.98 * cur.nvtxs() as f64 {
+            mcgp_runtime::phase::counter_add(mcgp_runtime::phase::Counter::ContractionAborts, 1);
+            sp.record("aborted", 1u64);
             break; // stall
         }
+        sp.record("coarse_nvtxs", matching.coarse_nvtxs);
+        sp.record(
+            "ratio",
+            matching.coarse_nvtxs as f64 / cur.nvtxs() as f64,
+        );
         let mut level = parallel_contract(cur, &matching, &mut tracker);
         // Graph folding: redistribute small coarse graphs onto fewer
         // processors. Vertex ids are preserved (only ownership changes),
@@ -169,6 +178,13 @@ pub fn parallel_partition_kway(
             let active = level.graph.nprocs();
             if cn < cfg.fold_threshold * active && active > 1 {
                 let new_p = (cn / cfg.fold_threshold).max(1).min(active);
+                mcgp_runtime::event!(
+                    "graph_fold",
+                    level = lvl,
+                    nvtxs = cn,
+                    from_procs = active,
+                    to_procs = new_p,
+                );
                 let gathered = level.graph.gather();
                 let bytes_per_proc = (gathered.adjacency_len() * 12 / active.max(1)) as u64;
                 let comp = vec![cn as u64; active];
@@ -196,7 +212,7 @@ pub fn parallel_partition_kway(
     // --- Uncoarsening with parallel multi-constraint refinement ----------
     let mut refine_stats = ParRefineStats::default();
     let mut refine_level =
-        |dist: &DistGraph, part: &mut Vec<u32>, lvl_seed: u64, tracker: &mut CostTracker| {
+        |lvl: usize, dist: &DistGraph, part: &mut Vec<u32>, lvl_seed: u64, tracker: &mut CostTracker| {
             let model = BalanceModel::from_parts(
                 dist.ncon(),
                 nparts,
@@ -241,6 +257,30 @@ pub fn parallel_partition_kway(
             refine_stats.committed += s.committed;
             refine_stats.disallowed += s.disallowed;
             refine_stats.balance_moves += bal_moves;
+            if mcgp_runtime::trace::enabled() {
+                let mut cut2 = 0i64; // every cut edge counted from both sides
+                for q in 0..dist.nprocs() {
+                    let lg = dist.local(q);
+                    for lv in 0..lg.nlocal() {
+                        let pv = part[lg.global(lv)];
+                        for (u, w) in lg.edges(lv) {
+                            if part[u as usize] != pv {
+                                cut2 += w;
+                            }
+                        }
+                    }
+                }
+                mcgp_runtime::event!(
+                    "uncoarsen_level",
+                    level = lvl,
+                    nvtxs = dist.nvtxs(),
+                    cut = cut2 / 2,
+                    committed = s.committed,
+                    disallowed = s.disallowed,
+                    balance_moves = bal_moves,
+                    imbalance = mcgp_core::balance::imbalances_from_pw(&pw, dist.ncon(), &model),
+                );
+            }
             if std::env::var_os("MCGP_DEBUG_BALANCE").is_some() {
                 let mut cut = 0i64;
                 for q in 0..dist.nprocs() {
@@ -268,7 +308,7 @@ pub fn parallel_partition_kway(
 
     mcgp_runtime::phase::timed(mcgp_runtime::phase::Phase::Refine, || {
         // Refine the coarsest level itself, then project down.
-        refine_level(coarsest, &mut part, seed ^ 0xC0A0, &mut tracker);
+        refine_level(levels.len(), coarsest, &mut part, seed ^ 0xC0A0, &mut tracker);
         for lvl in (0..levels.len()).rev() {
             // Project: fine v takes the part of its coarse vertex; vertices
             // whose coarse vertex lives on another processor fetch it.
@@ -297,7 +337,7 @@ pub fn parallel_partition_kway(
             }
             tracker.superstep(&comp, &bytes);
             part = fine_part;
-            refine_level(finer, &mut part, seed ^ ((lvl as u64) << 16), &mut tracker);
+            refine_level(lvl, finer, &mut part, seed ^ ((lvl as u64) << 16), &mut tracker);
         }
     });
 
@@ -400,9 +440,11 @@ mod tests {
         let cfg = ParallelConfig::new(16);
         let target = cfg.coarsen_to_per_part * 8;
         let mut rng = Rng::seed_from_u64(7);
-        let mut serial_cfg = PartitionConfig::default();
-        serial_cfg.coarsen_to_per_part = cfg.coarsen_to_per_part;
-        serial_cfg.coarsen_to_min = target;
+        let serial_cfg = PartitionConfig {
+            coarsen_to_per_part: cfg.coarsen_to_per_part,
+            coarsen_to_min: target,
+            ..PartitionConfig::default()
+        };
         let serial_levels = coarsen(&g, target, &serial_cfg, &mut rng).nlevels();
         let par = parallel_partition_kway(&g, 8, &cfg);
         assert!(

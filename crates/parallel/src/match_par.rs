@@ -78,7 +78,7 @@ pub fn parallel_match(
     }
 
     for round in 0..rounds {
-        let parity = (round % 2) as usize;
+        let parity = round % 2;
         // --- Proposal superstep (runs on the shared-memory pool) ----------
         // Each logical processor's proposal scan is independent: `matched`
         // is read-only until grants land, and traffic tallies are summed in
@@ -107,8 +107,8 @@ pub fn parallel_match(
                     if matched[ug] || ug % 2 == parity {
                         continue;
                     }
-                    let better_w = best.map_or(true, |(bw, _, _)| w > bw);
-                    let tie_w = best.map_or(false, |(bw, _, _)| w == bw);
+                    let better_w = best.is_none_or(|(bw, _, _)| w > bw);
+                    let tie_w = best.is_some_and(|(bw, _, _)| w == bw);
                     if !better_w && !tie_w {
                         continue;
                     }
@@ -118,7 +118,7 @@ pub fn parallel_match(
                         }
                         _ => 0.0,
                     };
-                    if better_w || best.map_or(true, |(_, bs, _)| spread < bs) {
+                    if better_w || best.is_none_or(|(_, bs, _)| spread < bs) {
                         best = Some((w, spread, u));
                     }
                 }
@@ -200,6 +200,14 @@ pub fn parallel_match(
             mcgp_runtime::phase::Counter::MatchConflicts,
             (proposals.len() - grants.len()) as u64,
         );
+        mcgp_runtime::event!(
+            "match_round",
+            round = round,
+            parity = parity,
+            proposals = proposals.len(),
+            grants = grants.len(),
+            conflicts = proposals.len() - grants.len(),
+        );
         // Grant notifications travel back to proposers.
         let mut bytes = vec![0u64; p];
         for &(v, u) in &grants {
@@ -219,7 +227,7 @@ pub fn parallel_match(
 
     // --- Local cleanup (no communication) ---------------------------------
     let mut comp = vec![0u64; p];
-    for q in 0..p {
+    for (q, comp_q) in comp.iter_mut().enumerate() {
         let lg = dist.local(q);
         let lo = lg.first;
         let hi = lg.first + lg.nlocal();
@@ -228,15 +236,14 @@ pub fn parallel_match(
             if matched[v] {
                 continue;
             }
-            comp[q] += lg.neighbors(lv).len() as u64;
+            *comp_q += lg.neighbors(lv).len() as u64;
             let mut best: Option<(i64, usize)> = None;
             for (u, w) in lg.edges(lv) {
                 let ug = u as usize;
-                if ug >= lo && ug < hi && !matched[ug] && ug != v {
-                    if best.map_or(true, |(bw, _)| w > bw) {
+                if ug >= lo && ug < hi && !matched[ug] && ug != v
+                    && best.is_none_or(|(bw, _)| w > bw) {
                         best = Some((w, ug));
                     }
-                }
             }
             if let Some((_, u)) = best {
                 mate[v] = u as u32;
@@ -253,6 +260,10 @@ pub fn parallel_match(
         .enumerate()
         .filter(|&(v, &m)| (m as usize) > v)
         .count();
+    mcgp_runtime::phase::counter_add(
+        mcgp_runtime::phase::Counter::VerticesMatched,
+        2 * pairs as u64,
+    );
     ParallelMatching {
         mate,
         coarse_nvtxs: n - pairs,

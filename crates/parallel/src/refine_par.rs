@@ -153,7 +153,7 @@ pub fn reservation_refine(
                         let gain = conn[b] - internal;
                         let acceptable =
                             gain > 0 || (gain == 0 && lighter(model, &pw_local, ncon, b, a));
-                        if acceptable && best.map_or(true, |(g, _)| gain > g) {
+                        if acceptable && best.is_none_or(|(g, _)| gain > g) {
                             best = Some((gain, b));
                         }
                     }
@@ -219,6 +219,7 @@ pub fn reservation_refine(
         let mut rngs: Vec<Rng> = (0..p)
             .map(|q| Rng::seed_from_u64(seed ^ ((iter as u64) << 24) ^ (q as u64)))
             .collect();
+        let proposed = proposals.len();
         let mut committed: Vec<Move> = Vec::with_capacity(proposals.len());
         for m in proposals {
             let r = portion[m.to as usize];
@@ -250,6 +251,16 @@ pub fn reservation_refine(
         }
 
         stats.committed += committed.len();
+        mcgp_runtime::event!(
+            "reservation_iter",
+            iter = iter,
+            upward = u64::from(upward),
+            proposed = proposed,
+            granted = committed.len(),
+            withheld = proposed - committed.len(),
+        );
+        mcgp_runtime::metrics::counter_add("reservation_grants", committed.len() as u64);
+        mcgp_runtime::metrics::counter_add("reservation_withholds", (proposed - committed.len()) as u64);
         if std::env::var_os("MCGP_DEBUG_REFINE").is_some() {
             eprintln!(
                 "    iter {iter} ({}): committed {} disallowed so far {}",
@@ -280,6 +291,7 @@ pub fn reservation_refine(
 /// vertices become islands the refinement rarely recovers, so it should be
 /// enabled only for the final pass at the finest level, where the residual
 /// excess — and hence the damage — is small.
+#[allow(clippy::too_many_arguments)]
 pub fn parallel_balance(
     dist: &DistGraph,
     part: &mut [u32],
@@ -354,7 +366,7 @@ pub fn parallel_balance(
                 for &b in &touched {
                     if model.fits(&pw[b * ncon..(b + 1) * ncon], vw) {
                         let gain = conn[b] - internal;
-                        if best.map_or(true, |(g, _)| gain > g) {
+                        if best.is_none_or(|(g, _)| gain > g) {
                             best = Some((gain, b));
                         }
                     }

@@ -93,7 +93,7 @@ pub fn slice_refine(
                         stats.disallowed += 1;
                         continue;
                     }
-                    if best.map_or(true, |(g, _)| gain > g) {
+                    if best.is_none_or(|(g, _)| gain > g) {
                         best = Some((gain, b));
                     }
                 }

@@ -7,7 +7,7 @@
 //! crates.io, and the partitioner must own the runtime behaviours its
 //! results depend on.
 //!
-//! Four modules:
+//! Six modules:
 //!
 //! * [`rng`] — a seedable deterministic PRNG (SplitMix64-seeded
 //!   xoshiro256++). Same seed ⇒ bit-identical stream on every platform,
@@ -20,13 +20,23 @@
 //! * [`phase`] — wall-clock phase timers and monotonic counters
 //!   (coarsening/initial/refinement time, moves attempted/committed,
 //!   matching conflicts) collected thread-locally and merged across
-//!   [`pool`] workers.
+//!   [`pool`] workers. Always on: a fixed-size array tally.
+//! * [`trace`] — structured tracing: scoped spans ([`span!`]) and typed
+//!   instant events ([`event!`]), exportable as JSONL or Chrome
+//!   trace-event JSON. Off by default; near-zero cost when off.
+//! * [`metrics`] — a named counter/gauge/histogram registry for the
+//!   open-ended metrics tracing wants (gain distributions, boundary
+//!   sizes), active only while tracing is enabled.
 
 pub mod json;
+pub mod metrics;
 pub mod phase;
 pub mod pool;
 pub mod rng;
+pub mod trace;
 
 pub use json::{Json, ToJson};
+pub use metrics::{Histogram, MetricsReport};
 pub use phase::{Counter, Phase, PhaseReport};
 pub use rng::{Rng, SliceRandom};
+pub use trace::{FieldValue, Span, TraceEvent, TraceFormat};

@@ -1,0 +1,340 @@
+//! Named metrics registry: counters, gauges, and log₂-bucket histograms.
+//!
+//! [`crate::phase`] keeps a deliberately tiny fixed-size tally (an array
+//! indexed by enum) because it is always on; this module is the open-ended
+//! companion for metrics that only matter when someone is looking — gain
+//! distributions, boundary sizes, per-round conflict counts. Registration
+//! is implicit (first use of a name creates the metric), names are
+//! `&'static str` so the registry never allocates keys, and everything is
+//! gated on [`crate::trace::enabled`] so the default path stays free.
+//!
+//! Like the phase tally and trace buffer, metrics accumulate in a
+//! thread-local and are merged across [`crate::pool`] workers. Merge rules
+//! keep reports deterministic under any thread count: counters and
+//! histograms add, gauges take the maximum.
+
+use crate::json::{Json, ToJson};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: negatives, zero, then 32 log₂ magnitude
+/// buckets (`[2^k, 2^(k+1))`).
+pub const HIST_BUCKETS: usize = 34;
+
+/// A log₂-bucket histogram over `i64` samples.
+///
+/// Bucket 0 counts negative samples, bucket 1 counts zeros, and bucket
+/// `2 + k` counts samples in `[2^k, 2^(k+1))` — coarse enough to stay a
+/// fixed-size array, fine enough to read a gain distribution's shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: i64,
+    /// Smallest sample (0 when empty).
+    pub min: i64,
+    /// Largest sample (0 when empty).
+    pub max: i64,
+    /// Bucket occupancy (see type docs for the bucket scheme).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+/// The bucket index a sample falls in.
+pub fn bucket_of(v: i64) -> usize {
+    if v < 0 {
+        0
+    } else if v == 0 {
+        1
+    } else {
+        (2 + (63 - (v as u64).leading_zeros() as usize)).min(HIST_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, v: i64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Adds `other`'s samples into this histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, ob) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += ob;
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        // Trailing empty buckets are elided so records stay compact.
+        let used = self
+            .buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map_or(0, |i| i + 1);
+        Json::obj([
+            ("count", Json::UInt(self.count)),
+            ("sum", Json::Int(self.sum)),
+            ("min", Json::Int(self.min)),
+            ("max", Json::Int(self.max)),
+            (
+                "buckets",
+                Json::Arr(self.buckets[..used].iter().map(|&b| Json::UInt(b)).collect()),
+            ),
+        ])
+    }
+}
+
+/// A snapshot of one thread's (or one merged run's) named metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsReport {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no metric has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Merges `other` in: counters and histograms add, gauges take the
+    /// maximum (deterministic under any worker interleaving).
+    pub fn merge(&mut self, other: &MetricsReport) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k).or_insert(*v);
+            *e = (*e).max(*v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+    }
+}
+
+impl ToJson for MetricsReport {
+    fn to_json(&self) -> Json {
+        let section = |pairs: Vec<(String, Json)>| Json::Obj(pairs);
+        Json::obj([
+            (
+                "counters",
+                section(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                section(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), Json::Int(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                section(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| ((*k).to_string(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<MetricsReport> = RefCell::new(MetricsReport::new());
+}
+
+/// Adds `n` to the named counter (no-op unless tracing is enabled).
+#[inline]
+pub fn counter_add(name: &'static str, n: u64) {
+    if n > 0 && crate::trace::enabled() {
+        LOCAL.with(|l| *l.borrow_mut().counters.entry(name).or_insert(0) += n);
+    }
+}
+
+/// Sets the named gauge; merges across threads by maximum (no-op unless
+/// tracing is enabled).
+#[inline]
+pub fn gauge_set(name: &'static str, v: i64) {
+    if crate::trace::enabled() {
+        LOCAL.with(|l| {
+            l.borrow_mut().gauges.insert(name, v);
+        });
+    }
+}
+
+/// Records a sample into the named histogram (no-op unless tracing is
+/// enabled).
+#[inline]
+pub fn histogram_record(name: &'static str, v: i64) {
+    if crate::trace::enabled() {
+        LOCAL.with(|l| l.borrow_mut().histograms.entry(name).or_default().record(v));
+    }
+}
+
+/// Drains and returns the current thread's metrics.
+pub fn take_local() -> MetricsReport {
+    LOCAL.with(|l| std::mem::take(&mut *l.borrow_mut()))
+}
+
+/// Merges `report` into the current thread's metrics (used by the pool to
+/// forward worker registries).
+pub fn merge_local(report: &MetricsReport) {
+    if report.is_empty() {
+        return;
+    }
+    LOCAL.with(|l| l.borrow_mut().merge(report));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_covers_int_range() {
+        assert_eq!(bucket_of(-5), 0);
+        assert_eq!(bucket_of(0), 1);
+        assert_eq!(bucket_of(1), 2);
+        assert_eq!(bucket_of(2), 3);
+        assert_eq!(bucket_of(3), 3);
+        assert_eq!(bucket_of(4), 4);
+        assert_eq!(bucket_of(i64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let mut a = Histogram::default();
+        a.record(-1);
+        a.record(0);
+        a.record(5);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 4);
+        assert_eq!(a.min, -1);
+        assert_eq!(a.max, 5);
+        let mut b = Histogram::default();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.max, 100);
+        let empty = Histogram::default();
+        let before = a.clone();
+        a.merge(&empty);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn report_merge_rules() {
+        let mut a = MetricsReport::new();
+        a.counters.insert("c", 2);
+        a.gauges.insert("g", 5);
+        let mut b = MetricsReport::new();
+        b.counters.insert("c", 3);
+        b.gauges.insert("g", 4);
+        b.histograms.insert("h", {
+            let mut h = Histogram::default();
+            h.record(7);
+            h
+        });
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.gauge("g"), Some(5), "gauges merge by max");
+        assert_eq!(a.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn disabled_metrics_are_free() {
+        // Tracing defaults to off; nothing should land in the registry.
+        let _g = crate::trace::test_lock();
+        let _ = take_local();
+        counter_add("nope", 3);
+        gauge_set("nope", 1);
+        histogram_record("nope", 2);
+        assert!(take_local().is_empty());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = MetricsReport::new();
+        r.counters.insert("moves", 7);
+        r.histograms.insert("gain", {
+            let mut h = Histogram::default();
+            h.record(3);
+            h
+        });
+        let s = r.to_json().to_string();
+        assert!(s.contains("\"counters\":{\"moves\":7}"), "{s}");
+        assert!(s.contains("\"gain\":{\"count\":1"), "{s}");
+    }
+}

@@ -15,72 +15,71 @@ use crate::json::{Json, ToJson};
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
-/// A timed phase of a partitioning run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Phase {
-    /// Coarsening: matching + contraction, all levels.
-    Coarsen,
-    /// Initial partitioning of the coarsest graph.
-    Initial,
-    /// Uncoarsening: projection + refinement + balancing, all levels.
-    Refine,
+/// Declares a dense tally enum and its single source-of-truth name table.
+/// Variant order *is* the index (`repr(usize)`), so index and name can
+/// never drift apart the way hand-written `match` tables can.
+macro_rules! tally_enum {
+    (
+        $(#[$meta:meta])*
+        $vis:vis enum $Enum:ident {
+            $($(#[$vmeta:meta])* $Var:ident => $name:literal,)+
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        #[repr(usize)]
+        $vis enum $Enum {
+            $($(#[$vmeta])* $Var,)+
+        }
+
+        impl $Enum {
+            /// Every variant, in declaration order.
+            pub const ALL: &'static [$Enum] = &[$($Enum::$Var,)+];
+            /// Stable names, aligned with [`Self::ALL`].
+            pub const NAMES: &'static [&'static str] = &[$($name,)+];
+            /// Number of variants.
+            pub const COUNT: usize = Self::NAMES.len();
+
+            /// Dense index: declaration order.
+            #[inline]
+            pub fn index(self) -> usize {
+                self as usize
+            }
+
+            /// Stable name used in reports and JSON keys.
+            pub fn name(self) -> &'static str {
+                Self::NAMES[self as usize]
+            }
+        }
+    };
 }
 
-const PHASES: [Phase; 3] = [Phase::Coarsen, Phase::Initial, Phase::Refine];
-
-impl Phase {
-    fn index(self) -> usize {
-        match self {
-            Phase::Coarsen => 0,
-            Phase::Initial => 1,
-            Phase::Refine => 2,
-        }
-    }
-
-    /// Stable lowercase name used in reports and JSON keys.
-    pub fn name(self) -> &'static str {
-        match self {
-            Phase::Coarsen => "coarsen",
-            Phase::Initial => "initial",
-            Phase::Refine => "refine",
-        }
+tally_enum! {
+    /// A timed phase of a partitioning run.
+    pub enum Phase {
+        /// Coarsening: matching + contraction, all levels.
+        Coarsen => "coarsen",
+        /// Initial partitioning of the coarsest graph.
+        Initial => "initial",
+        /// Uncoarsening: projection + refinement + balancing, all levels.
+        Refine => "refine",
     }
 }
 
-/// A monotonic behavioural counter.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Counter {
-    /// Refinement moves evaluated against the balance model.
-    MovesAttempted,
-    /// Refinement moves actually applied.
-    MovesCommitted,
-    /// Parallel matching proposals that lost grant arbitration or were
-    /// withheld by the reservation scheme.
-    MatchConflicts,
-}
-
-const COUNTERS: [Counter; 3] = [
-    Counter::MovesAttempted,
-    Counter::MovesCommitted,
-    Counter::MatchConflicts,
-];
-
-impl Counter {
-    fn index(self) -> usize {
-        match self {
-            Counter::MovesAttempted => 0,
-            Counter::MovesCommitted => 1,
-            Counter::MatchConflicts => 2,
-        }
-    }
-
-    /// Stable snake_case name used in reports and JSON keys.
-    pub fn name(self) -> &'static str {
-        match self {
-            Counter::MovesAttempted => "moves_attempted",
-            Counter::MovesCommitted => "moves_committed",
-            Counter::MatchConflicts => "match_conflicts",
-        }
+tally_enum! {
+    /// A monotonic behavioural counter.
+    pub enum Counter {
+        /// Refinement moves evaluated against the balance model.
+        MovesAttempted => "moves_attempted",
+        /// Refinement moves actually applied.
+        MovesCommitted => "moves_committed",
+        /// Parallel matching proposals that lost grant arbitration or were
+        /// withheld by the reservation scheme.
+        MatchConflicts => "match_conflicts",
+        /// Vertices paired by matching, summed over coarsening levels.
+        VerticesMatched => "vertices_matched",
+        /// Coarsening levels abandoned because contraction stalled.
+        ContractionAborts => "contraction_aborts",
     }
 }
 
@@ -88,8 +87,8 @@ impl Counter {
 /// aggregation of runs).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PhaseReport {
-    times_ns: [u64; PHASES.len()],
-    counters: [u64; COUNTERS.len()],
+    times_ns: [u64; Phase::COUNT],
+    counters: [u64; Counter::COUNT],
 }
 
 impl PhaseReport {
@@ -124,27 +123,40 @@ impl PhaseReport {
     }
 
     /// One-line human-readable summary, e.g.
-    /// `coarsen 0.012s | initial 0.003s | refine 0.020s | moves 812/1024 | conflicts 3`.
+    /// `coarsen 0.012s | initial 0.003s | refine 0.020s | moves 812/1024 | conflicts 3 | matched 5820`.
     pub fn render(&self) -> String {
         format!(
-            "coarsen {:.3}s | initial {:.3}s | refine {:.3}s | moves {}/{} | conflicts {}",
+            "coarsen {:.3}s | initial {:.3}s | refine {:.3}s | moves {}/{} | conflicts {} | matched {}",
             self.seconds(Phase::Coarsen),
             self.seconds(Phase::Initial),
             self.seconds(Phase::Refine),
             self.counter(Counter::MovesCommitted),
             self.counter(Counter::MovesAttempted),
             self.counter(Counter::MatchConflicts),
+            self.counter(Counter::VerticesMatched),
         )
+    }
+
+    /// Runs `f` against a clean thread-local tally and returns `f`'s result
+    /// together with exactly the tally `f` produced. Whatever was in the
+    /// tally beforehand is preserved (restored after the capture), so
+    /// drivers no longer need the `let _ = take_local()` reset dance.
+    pub fn capture<T>(f: impl FnOnce() -> T) -> (T, PhaseReport) {
+        let prior = take_local();
+        let out = f();
+        let report = take_local();
+        merge_local(&prior);
+        (out, report)
     }
 }
 
 impl ToJson for PhaseReport {
     fn to_json(&self) -> Json {
         let mut obj: Vec<(String, Json)> = Vec::new();
-        for p in PHASES {
+        for &p in Phase::ALL {
             obj.push((format!("{}_s", p.name()), Json::Float(self.seconds(p))));
         }
-        for c in COUNTERS {
+        for &c in Counter::ALL {
             obj.push((c.name().to_string(), Json::UInt(self.counter(c))));
         }
         Json::Obj(obj)
@@ -241,6 +253,34 @@ mod tests {
         let s = take_local().to_json().to_string();
         assert!(s.contains("\"coarsen_s\":"), "{s}");
         assert!(s.contains("\"match_conflicts\":7"), "{s}");
+    }
+
+    #[test]
+    fn capture_isolates_and_preserves_prior_tally() {
+        let _ = take_local();
+        counter_add(Counter::MovesCommitted, 11); // pre-existing activity
+        let (out, report) = PhaseReport::capture(|| {
+            counter_add(Counter::MovesAttempted, 4);
+            "done"
+        });
+        assert_eq!(out, "done");
+        assert_eq!(report.counter(Counter::MovesAttempted), 4);
+        assert_eq!(report.counter(Counter::MovesCommitted), 0, "prior tally leaked in");
+        let rest = take_local();
+        assert_eq!(rest.counter(Counter::MovesCommitted), 11, "prior tally lost");
+    }
+
+    #[test]
+    fn enum_tables_are_aligned() {
+        for (i, (&v, &n)) in Phase::ALL.iter().zip(Phase::NAMES).enumerate() {
+            assert_eq!(v.index(), i);
+            assert_eq!(v.name(), n);
+        }
+        for (i, (&v, &n)) in Counter::ALL.iter().zip(Counter::NAMES).enumerate() {
+            assert_eq!(v.index(), i);
+            assert_eq!(v.name(), n);
+        }
+        assert_eq!(Counter::COUNT, 5);
     }
 
     #[test]

@@ -15,6 +15,14 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Everything a worker thread's thread-locals accumulated during its share
+/// of a parallel region.
+struct WorkerReport {
+    phase: crate::phase::PhaseReport,
+    events: Vec<crate::trace::TraceEvent>,
+    metrics: crate::metrics::MetricsReport,
+}
+
 /// Number of worker threads a parallel region will use for `units` work
 /// units: `min(units, available_parallelism)`, capped by `MCGP_THREADS`
 /// when set.
@@ -43,11 +51,14 @@ where
     }
     let next = AtomicUsize::new(0);
     let mut buckets: Vec<Vec<(usize, T)>> = Vec::new();
-    let mut reports: Vec<crate::phase::PhaseReport> = Vec::new();
+    let mut reports: Vec<WorkerReport> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..nthreads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let f = &f;
+                let next = &next;
+                scope.spawn(move || {
+                    let start = std::time::Instant::now();
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -56,9 +67,26 @@ where
                         }
                         local.push((i, f(i)));
                     }
-                    // Fresh thread ⇒ its thread-local phase tally holds
-                    // exactly this worker's increments.
-                    (local, crate::phase::take_local())
+                    if crate::trace::enabled() {
+                        // Per-worker timing: busy time and units claimed,
+                        // so a trace shows scheduling skew across workers.
+                        crate::event!(
+                            "pool_worker",
+                            worker = w,
+                            units = local.len(),
+                            busy_ns = start.elapsed().as_nanos() as u64,
+                        );
+                    }
+                    // Fresh thread ⇒ its thread-locals hold exactly this
+                    // worker's increments, events, and metrics.
+                    (
+                        local,
+                        WorkerReport {
+                            phase: crate::phase::take_local(),
+                            events: crate::trace::take_local(),
+                            metrics: crate::metrics::take_local(),
+                        },
+                    )
                 })
             })
             .collect();
@@ -68,8 +96,12 @@ where
             reports.push(report);
         }
     });
+    // Workers are drained in spawn order, so the merged tallies (and the
+    // relative order of forwarded trace events) do not depend on timing.
     for r in reports {
-        crate::phase::merge_local(&r);
+        crate::phase::merge_local(&r.phase);
+        crate::trace::merge_local(r.events);
+        crate::metrics::merge_local(&r.metrics);
     }
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     for (i, v) in buckets.into_iter().flatten() {
@@ -86,7 +118,7 @@ pub fn for_each<F>(n: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
-    map(n, |i| f(i));
+    map(n, f);
 }
 
 #[cfg(test)]

@@ -1,0 +1,87 @@
+//! Pool-merge determinism: running the same traced workload under 1, 2 and
+//! 8 worker threads must produce an identical merged [`PhaseReport`] and an
+//! identical trace-event multiset, modulo timing fields (`ts_ns`, `tid`).
+//!
+//! A single `#[test]` owns the whole sweep: the thread count comes from the
+//! process-global `MCGP_THREADS` variable and tracing is a process-global
+//! toggle, so the runs must not interleave with each other.
+
+use mcgp_runtime::phase::{counter_add, Counter, PhaseReport};
+use mcgp_runtime::{event, span, trace, Json, TraceEvent};
+
+const UNITS: usize = 32;
+
+fn run_workload() -> (PhaseReport, Vec<TraceEvent>) {
+    let _ = trace::take_local();
+    trace::set_enabled(true);
+    let (sum, report) = PhaseReport::capture(|| {
+        let out: Vec<u64> = mcgp_runtime::pool::map(UNITS, |i| {
+            let mut sp = span!("unit", unit = i);
+            counter_add(Counter::MovesAttempted, i as u64 + 1);
+            if i % 3 == 0 {
+                counter_add(Counter::MovesCommitted, 1);
+            }
+            event!("tick", unit = i, parity = i % 2);
+            sp.record("doubled", 2 * i as u64);
+            2 * i as u64
+        });
+        out.iter().sum::<u64>()
+    });
+    trace::set_enabled(false);
+    let events = trace::take_local();
+    assert_eq!(sum, (UNITS * (UNITS - 1)) as u64, "workload result");
+    (report, events)
+}
+
+/// Canonical multiset key per event: the JSONL rendering with the timing
+/// fields removed, sorted. `pool_worker` events legitimately differ across
+/// thread counts (one per worker, with wall-clock skew) and are excluded.
+fn canon(events: &[TraceEvent]) -> Vec<String> {
+    let mut keys: Vec<String> = events
+        .iter()
+        .filter(|e| e.name != "pool_worker")
+        .map(|e| match e.to_jsonl_json() {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "ts_ns" && k != "tid")
+                    .collect(),
+            )
+            .to_string(),
+            other => other.to_string(),
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+#[test]
+fn merged_report_and_events_identical_across_thread_counts() {
+    std::env::set_var("MCGP_THREADS", "1");
+    let (base_report, base_events) = run_workload();
+    let base_canon = canon(&base_events);
+    assert_eq!(
+        base_canon.len(),
+        2 * UNITS + UNITS, // one B + one E per span, one instant per unit
+        "unexpected event count under 1 thread"
+    );
+
+    for threads in ["2", "8"] {
+        std::env::set_var("MCGP_THREADS", threads);
+        let (report, events) = run_workload();
+        for &c in Counter::ALL {
+            assert_eq!(
+                report.counter(c),
+                base_report.counter(c),
+                "counter {} differs under {threads} threads",
+                c.name()
+            );
+        }
+        assert_eq!(
+            canon(&events),
+            base_canon,
+            "trace event multiset differs under {threads} threads"
+        );
+    }
+    std::env::remove_var("MCGP_THREADS");
+}

@@ -12,6 +12,7 @@
 //! This example builds such a workload, then compares:
 //! * a traditional single-constraint partition of summed work, and
 //! * the multi-constraint partition,
+//!
 //! reporting the *per-phase* imbalance of both — the quantity that
 //! determines synchronised-step speed.
 //!
@@ -35,8 +36,7 @@ fn crash_workload(mesh: &Graph, seed: u64) -> Graph {
     let crumple = |r: u32| r < 10; // ~30% of the 32 regions
     let deforming = |r: u32| r < 18; // ~55%
     let mut vwgt = Vec::with_capacity(mesh.nvtxs() * ncon);
-    for v in 0..mesh.nvtxs() {
-        let r = regions[v];
+    for &r in &regions {
         vwgt.push(2); // phase 1: FE stress, uniform
         vwgt.push(if crumple(r) { 7 } else { 0 }); // phase 2: contact search
         vwgt.push(if deforming(r) { 3 } else { 0 }); // phase 3: plasticity

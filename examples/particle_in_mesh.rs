@@ -32,9 +32,9 @@ fn particle_workload(mesh: &Graph, seed: u64) -> Graph {
         particles[v as usize] = density;
     }
     let mut vwgt = Vec::with_capacity(mesh.nvtxs() * 2);
-    for v in 0..mesh.nvtxs() {
+    for &p in &particles {
         vwgt.push(3); // phase 1: field solve per cell
-        vwgt.push(particles[v]); // phase 2: particle push per cell
+        vwgt.push(p); // phase 2: particle push per cell
     }
     mesh.clone()
         .with_vwgt(2, vwgt)

@@ -8,3 +8,19 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Observability smoke test: partition a generator graph with tracing on and
+# validate the trace file (non-empty, schema-clean, balanced spans).
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+./target/release/mcgp partition gen:grid:32x32 8 \
+    --trace "$TRACE_DIR/smoke.trace.jsonl" \
+    --outfile "$TRACE_DIR/smoke.part"
+test -s "$TRACE_DIR/smoke.trace.jsonl"
+./target/release/mcgp trace-check "$TRACE_DIR/smoke.trace.jsonl"
+./target/release/mcgp partition gen:grid:32x32 8 --parallel 4 \
+    --trace "$TRACE_DIR/smoke.trace.json" --trace-format chrome \
+    --outfile "$TRACE_DIR/smoke.part"
+./target/release/mcgp trace-check "$TRACE_DIR/smoke.trace.json" --format chrome
+echo "verify: OK"

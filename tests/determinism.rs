@@ -52,6 +52,34 @@ fn parallel_kway_is_bit_identical_across_runs_and_thread_counts() {
 }
 
 #[test]
+fn tracing_does_not_perturb_the_partition() {
+    // The observability layer must be a pure observer: the partition vector
+    // with tracing enabled is bit-identical to the one with tracing off,
+    // for both drivers. (Enabling tracing is a process-global toggle; any
+    // events a concurrently running test deposits in its own thread-local
+    // buffer are simply dropped with that thread.)
+    let g = synthetic::type1(&mrng_like(2_000, 21), 3, 21);
+    let scfg = PartitionConfig::default().with_seed(55);
+    let pcfg = ParallelConfig::new(4).with_seed(55);
+
+    let serial_off = partition_kway(&g, 8, &scfg);
+    let par_off = parallel_partition_kway(&g, 8, &pcfg);
+
+    mcgp::runtime::trace::set_enabled(true);
+    let serial_on = partition_kway(&g, 8, &scfg);
+    let par_on = parallel_partition_kway(&g, 8, &pcfg);
+    mcgp::runtime::trace::set_enabled(false);
+    let events = mcgp::runtime::trace::take_local();
+    assert!(!events.is_empty(), "tracing was on but produced no events");
+
+    assert_eq!(
+        serial_off.partition.assignment(),
+        serial_on.partition.assignment()
+    );
+    assert_eq!(par_off.partition.assignment(), par_on.partition.assignment());
+}
+
+#[test]
 fn distinct_seeds_change_the_stream() {
     // Guard against an RNG wiring bug where the seed is ignored: different
     // seeds should give a different partition vector on a non-trivial graph

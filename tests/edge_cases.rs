@@ -91,8 +91,10 @@ fn nparts_above_nvtxs_panics() {
 #[test]
 fn zero_tolerance_is_survivable() {
     let g = grid_2d(12, 12);
-    let mut cfg = PartitionConfig::default();
-    cfg.imbalance_tol = 0.0;
+    let cfg = PartitionConfig {
+        imbalance_tol: 0.0,
+        ..PartitionConfig::default()
+    };
     let r = partition_kway(&g, 4, &cfg);
     // Granularity slack still allows one vertex of spill.
     assert!(r.quality.max_imbalance <= 1.2);
@@ -102,8 +104,10 @@ fn zero_tolerance_is_survivable() {
 fn huge_tolerance_never_worse_cut_than_tight() {
     let g = synthetic::type1(&grid_2d(20, 20), 2, 3);
     let tight = partition_kway(&g, 8, &PartitionConfig::default());
-    let mut loose_cfg = PartitionConfig::default();
-    loose_cfg.imbalance_tol = 0.50;
+    let loose_cfg = PartitionConfig {
+        imbalance_tol: 0.50,
+        ..PartitionConfig::default()
+    };
     let loose = partition_kway(&g, 8, &loose_cfg);
     // More freedom can only help the cut (up to heuristic noise).
     assert!(

@@ -27,6 +27,17 @@ pub fn part_weights(graph: &Graph, assignment: &[u32], nparts: usize) -> Vec<i64
     pw
 }
 
+/// Number of vertices assigned to each part. Callers that move vertices
+/// afterwards keep the counts exact by adjusting the two affected entries
+/// (the boundary engine does this internally; see `crate::boundary`).
+pub fn part_counts(assignment: &[u32], nparts: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; nparts];
+    for &p in assignment {
+        counts[p as usize] += 1;
+    }
+    counts
+}
+
 /// Per-constraint imbalance (max part load over average) from a flattened
 /// part-weight matrix — cheap enough to emit per uncoarsening level when
 /// tracing. Empty constraints report 1.0.
@@ -197,6 +208,8 @@ pub fn rebalance(
     let mut touched: Vec<usize> = Vec::new();
     let mut order: Vec<u32> = (0..graph.nvtxs() as u32).collect();
     order.shuffle(rng);
+    // Maintained across moves so the never-empty-a-part rule is O(1).
+    let mut counts = part_counts(assignment, nparts);
 
     // Normalised excess of one part row above its caps.
     let excess = |row: &[i64]| -> f64 {
@@ -220,6 +233,10 @@ pub fn rebalance(
         // excess strictly decreases, so the loop always terminates.
         let mut best_fit: Option<(i64, usize, usize)> = None; // (gain, v, dest)
         let mut best_relax: Option<(f64, i64, usize, usize)> = None; // (delta, gain, v, dest)
+        // A one-vertex part cannot shed weight without emptying itself.
+        if counts[vp] <= 1 {
+            return false;
+        }
         for &v in &order {
             let v = v as usize;
             if assignment[v] as usize != vp {
@@ -303,6 +320,8 @@ pub fn rebalance(
                 let from = assignment[v] as usize;
                 apply_move(pw, ncon, graph.vwgt(v), from, dest);
                 assignment[v] = dest as u32;
+                counts[from] -= 1;
+                counts[dest] += 1;
             }
             None => return false, // no move reduces the violation: give up
         }
@@ -403,6 +422,31 @@ mod tests {
         let ok = rebalance(&g, &mut assignment, &mut pw, &model, &mut rng);
         assert!(ok, "rebalance failed to reach feasibility");
         assert!(model.is_balanced(&pw));
+    }
+
+    #[test]
+    fn part_counts_accumulate() {
+        assert_eq!(part_counts(&[0, 2, 2, 1, 2], 4), vec![1, 1, 3, 0]);
+    }
+
+    #[test]
+    fn rebalance_never_empties_a_part() {
+        // Part 1 holds a single, grossly overweight vertex: rebalance must
+        // refuse to move it out (and report failure) rather than empty the
+        // part.
+        let mut b = mcgp_graph::csr::GraphBuilder::new(4);
+        b.weighted_edge(0, 1, 1)
+            .weighted_edge(1, 2, 1)
+            .weighted_edge(2, 3, 1)
+            .vwgt(1, vec![1, 100, 1, 1]);
+        let g = b.build().unwrap();
+        let mut assignment = vec![0u32, 1, 0, 0];
+        let model = BalanceModel::from_parts(1, 2, vec![103], &[1], 0.05);
+        let mut pw = part_weights(&g, &assignment, 2);
+        let mut rng = Rng::seed_from_u64(1);
+        let ok = rebalance(&g, &mut assignment, &mut pw, &model, &mut rng);
+        assert!(!ok);
+        assert_eq!(part_counts(&assignment, 2)[1], 1, "part 1 was emptied");
     }
 
     #[test]

@@ -60,9 +60,37 @@ impl CoarsenHierarchy {
     }
 }
 
+const NONE: u32 = u32::MAX;
+
+/// Reusable contraction scratch: the `pos[coarse_nbr] → adjncy index`
+/// marker table. Invariant between calls: every entry is `NONE` (each
+/// contraction resets exactly the entries it set), so reuse across levels
+/// skips the per-level `O(coarse_nvtxs)` allocation + clear.
+#[derive(Debug, Default)]
+pub struct ContractionScratch {
+    pos: Vec<u32>,
+}
+
+impl ContractionScratch {
+    /// An empty scratch; grows on first use.
+    pub fn new() -> Self {
+        ContractionScratch::default()
+    }
+}
+
 /// Contracts `graph` along a matching; returns the coarse graph and the
-/// fine→coarse map.
+/// fine→coarse map. Allocates fresh scratch — level loops should reuse one
+/// [`ContractionScratch`] via [`contract_with_scratch`].
 pub fn contract(graph: &Graph, matching: &GraphMatching) -> (Graph, Vec<u32>) {
+    contract_with_scratch(graph, matching, &mut ContractionScratch::new())
+}
+
+/// [`contract`] with a caller-owned scratch table.
+pub fn contract_with_scratch(
+    graph: &Graph,
+    matching: &GraphMatching,
+    scratch: &mut ContractionScratch,
+) -> (Graph, Vec<u32>) {
     let n = graph.nvtxs();
     let ncon = graph.ncon();
     let cn = matching.coarse_nvtxs;
@@ -89,8 +117,11 @@ pub fn contract(graph: &Graph, matching: &GraphMatching) -> (Graph, Vec<u32>) {
     let mut adjwgt: Vec<i64> = Vec::new();
     let mut vwgt = vec![0i64; cn * ncon];
     // pos[coarse_nbr] = index into adjncy for the current coarse vertex.
-    const NONE: u32 = u32::MAX;
-    let mut pos: Vec<u32> = vec![NONE; cn];
+    if scratch.pos.len() < cn {
+        scratch.pos.resize(cn, NONE);
+    }
+    debug_assert!(scratch.pos.iter().all(|&p| p == NONE));
+    let pos: &mut Vec<u32> = &mut scratch.pos;
 
     for (c, &(v, u)) in rep.iter().enumerate() {
         let row_start = adjncy.len();
@@ -113,9 +144,9 @@ pub fn contract(graph: &Graph, matching: &GraphMatching) -> (Graph, Vec<u32>) {
                     vwgt[c * ncon + i] += w;
                 }
             };
-        absorb(v as usize, &mut adjncy, &mut adjwgt, &mut pos);
+        absorb(v as usize, &mut adjncy, &mut adjwgt, pos);
         if u != v {
-            absorb(u as usize, &mut adjncy, &mut adjwgt, &mut pos);
+            absorb(u as usize, &mut adjncy, &mut adjwgt, pos);
         }
         for &nb in &adjncy[row_start..] {
             pos[nb as usize] = NONE;
@@ -142,6 +173,7 @@ pub fn coarsen(
 ) -> CoarsenHierarchy {
     const MAX_LEVELS: usize = 64;
     let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut scratch = ContractionScratch::new();
     loop {
         let lvl = levels.len();
         let cur = levels.last().map_or(graph, |l| &l.graph);
@@ -165,7 +197,7 @@ pub fn coarsen(
             Counter::VerticesMatched,
             2 * (cur.nvtxs() - matching.coarse_nvtxs) as u64,
         );
-        let (coarse, cmap) = contract(cur, &matching);
+        let (coarse, cmap) = contract_with_scratch(cur, &matching, &mut scratch);
         sp.record("coarse_nvtxs", coarse.nvtxs());
         sp.record("coarse_nedges", coarse.nedges());
         sp.record("ratio", coarse.nvtxs() as f64 / cur.nvtxs() as f64);

@@ -3,9 +3,10 @@
 //! coarsest graph → greedy multi-constraint refinement during uncoarsening).
 
 use crate::balance::{part_weights, rebalance, BalanceModel};
+use crate::boundary::RefineWorkspace;
 use crate::coarsen::coarsen;
 use crate::config::PartitionConfig;
-use crate::kway_refine::greedy_kway_refine;
+use crate::kway_refine::{greedy_kway_refine_ws, KwayRefineStats};
 use crate::rb::recursive_bisection_assignment;
 use crate::PartitionResult;
 use crate::balance::imbalances_from_pw;
@@ -38,20 +39,30 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
     });
 
     // Phase 3: uncoarsening with refinement (and explicit balancing when a
-    // level starts outside the caps).
-    let refine_on = |lvl: usize, g: &Graph, assignment: &mut Vec<u32>, rng: &mut Rng| {
+    // level starts outside the caps). One workspace serves every level: the
+    // boundary engine's buffers grow to the finest level once instead of
+    // being reallocated per level.
+    let mut ws = RefineWorkspace::new();
+    let refine_on = |lvl: usize,
+                     g: &Graph,
+                     assignment: &mut Vec<u32>,
+                     rng: &mut Rng,
+                     ws: &mut RefineWorkspace| {
         let model = BalanceModel::new(g, nparts, config.imbalance_tol);
         let mut pw = part_weights(g, assignment, nparts);
         if !model.is_balanced(&pw) {
             rebalance(g, assignment, &mut pw, &model, rng);
         }
-        greedy_kway_refine(g, assignment, &mut pw, &model, config.refine_iters, rng);
+        let stats: KwayRefineStats =
+            greedy_kway_refine_ws(g, assignment, &mut pw, &model, config.refine_iters, rng, ws);
         // Field expressions (cut recount, imbalance scan) are only
         // evaluated when tracing is enabled.
         event!(
             "uncoarsen_level",
             level = lvl,
             nvtxs = g.nvtxs(),
+            boundary = ws.engine.boundary().len(),
+            moves = stats.moves,
             cut = mcgp_graph::metrics::edge_cut_raw(g, assignment),
             imbalance = imbalances_from_pw(&pw, g.ncon(), &model),
         );
@@ -59,7 +70,7 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
 
     // Refine the initial partitioning on the coarsest graph itself.
     timed(Phase::Refine, || {
-        refine_on(levels, coarsest, &mut assignment, &mut rng);
+        refine_on(levels, coarsest, &mut assignment, &mut rng, &mut ws);
         for lvl in (0..levels).rev() {
             assignment = hierarchy.project(lvl, &assignment);
             let finer = if lvl == 0 {
@@ -67,7 +78,7 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
             } else {
                 &hierarchy.levels()[lvl - 1].graph
             };
-            refine_on(lvl, finer, &mut assignment, &mut rng);
+            refine_on(lvl, finer, &mut assignment, &mut rng, &mut ws);
         }
 
         // Final feasibility passes at the finest level: alternate balancing
@@ -79,7 +90,7 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
                 break;
             }
             rebalance(graph, &mut assignment, &mut pw, &model, &mut rng);
-            greedy_kway_refine(graph, &mut assignment, &mut pw, &model, 2, &mut rng);
+            greedy_kway_refine_ws(graph, &mut assignment, &mut pw, &model, 2, &mut rng, &mut ws);
         }
     });
 

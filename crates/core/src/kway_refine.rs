@@ -6,12 +6,22 @@
 //! caps it fits; zero-gain moves are taken when they improve balance. This
 //! is the KL-type relaxation the paper describes: no global priority queue,
 //! bounded iterations, early exit at a local minimum.
+//!
+//! The sweep is driven by [`crate::boundary::BoundaryEngine`]: the pass
+//! order is drawn from the explicit boundary set (not all `n` vertices),
+//! per-vertex gains come from the incrementally-maintained connectivity
+//! caches, and the "never empty a subdomain" rule is an O(1) per-part
+//! vertex-count check. A pass therefore costs `O(boundary + Σ deg(moved))`
+//! rather than `O(n + m)`. Vertices that *become* boundary mid-pass are
+//! picked up on the next pass (the pass order is a snapshot); vertices that
+//! become interior mid-pass are skipped.
 
 use crate::balance::{apply_move, BalanceModel};
+use crate::boundary::RefineWorkspace;
 use mcgp_graph::Graph;
 use mcgp_runtime::phase::{counter_add, Counter};
-use mcgp_runtime::rng::SliceRandom;
 use mcgp_runtime::rng::Rng;
+use mcgp_runtime::rng::SliceRandom;
 use mcgp_runtime::{metrics, span};
 
 /// Statistics of a k-way refinement call.
@@ -26,7 +36,9 @@ pub struct KwayRefineStats {
 }
 
 /// Runs up to `iters` greedy refinement sweeps, updating `assignment` and
-/// the flattened part-weight matrix `pw` in place.
+/// the flattened part-weight matrix `pw` in place. Allocates a fresh
+/// [`RefineWorkspace`]; level loops should use
+/// [`greedy_kway_refine_ws`] to reuse one workspace across calls.
 pub fn greedy_kway_refine(
     graph: &Graph,
     assignment: &mut [u32],
@@ -35,91 +47,114 @@ pub fn greedy_kway_refine(
     iters: usize,
     rng: &mut Rng,
 ) -> KwayRefineStats {
+    let mut ws = RefineWorkspace::new();
+    greedy_kway_refine_ws(graph, assignment, pw, model, iters, rng, &mut ws)
+}
+
+/// [`greedy_kway_refine`] with a caller-owned workspace, so the boundary
+/// engine's buffers are allocated once per partition call instead of once
+/// per uncoarsening level.
+pub fn greedy_kway_refine_ws(
+    graph: &Graph,
+    assignment: &mut [u32],
+    pw: &mut [i64],
+    model: &BalanceModel,
+    iters: usize,
+    rng: &mut Rng,
+    ws: &mut RefineWorkspace,
+) -> KwayRefineStats {
     let n = graph.nvtxs();
     let ncon = graph.ncon();
-    let nparts = model.nparts();
     let mut stats = KwayRefineStats::default();
-    let mut conn: Vec<i64> = vec![0; nparts];
-    let mut touched: Vec<usize> = Vec::with_capacity(16);
-    let mut order: Vec<u32> = (0..n as u32).collect();
+    let RefineWorkspace { engine, order } = ws;
+    engine.rebuild(graph, assignment, model.nparts());
+    // 1 / (per-part average weight) per constraint, so every balance probe
+    // is a multiply instead of a division.
+    let inv_avg: Vec<f64> = (0..ncon)
+        .map(|i| {
+            let t = model.totals()[i];
+            if t > 0 {
+                model.nparts() as f64 / t as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
 
     for pass in 0..iters {
         stats.iterations += 1;
         let mut sp = span!("refine_pass", pass = pass, nvtxs = n);
+        order.clear();
+        order.extend_from_slice(engine.boundary());
         order.shuffle(rng);
         let mut moved_this_iter = 0usize;
         let mut attempted_this_iter = 0usize;
         let mut boundary_this_iter = 0usize;
-        for &v in &order {
+        for &v in order.iter() {
             let v = v as usize;
-            let a = assignment[v] as usize;
-            // Connectivity of v per adjacent part.
-            touched.clear();
-            let mut internal = 0i64;
-            let mut is_boundary = false;
-            for (u, w) in graph.edges(v) {
-                let pu = assignment[u as usize] as usize;
-                if pu == a {
-                    internal += w;
-                } else {
-                    is_boundary = true;
-                    if conn[pu] == 0 {
-                        touched.push(pu);
-                    }
-                    conn[pu] += w;
-                }
-            }
-            if !is_boundary {
+            // A move earlier in the pass may have pulled v off the boundary.
+            if !engine.is_boundary(v) {
                 continue;
             }
             boundary_this_iter += 1;
+            let a = assignment[v] as usize;
             let vw = graph.vwgt(v);
-            // Never empty a subdomain: if v is the last vertex of its part
-            // (all of the part's weight is v's own), it must stay.
-            if (0..ncon).all(|i| pw[a * ncon + i] == vw[i]) && part_size_one(graph, assignment, v)
-            {
+            // Never empty a subdomain: the last vertex of its part stays.
+            if engine.part_count(a) == 1 {
                 continue;
             }
-            // Best destination by (gain, balance improvement).
+            // Best destination by (gain, balance improvement). Phase 1: the
+            // best cut gain among destinations whose caps fit — integer
+            // arithmetic only.
             counter_add(Counter::MovesAttempted, 1);
             attempted_this_iter += 1;
-            let mut best: Option<(i64, f64, usize)> = None;
-            let load_a_before = part_load(model, pw, ncon, a);
-            for &b in &touched {
-                let gain = conn[b] - internal;
-                if gain < 0 {
+            let internal = engine.internal(v);
+            let mut best_gain: Option<i64> = None;
+            for pc in engine.conn_of(v) {
+                let b = pc.part as usize;
+                let gain = pc.weight - internal;
+                if gain < 0 || best_gain.is_some_and(|bg| gain < bg) {
                     continue;
                 }
                 if !model.fits(&pw[b * ncon..(b + 1) * ncon], vw) {
                     continue;
                 }
-                // Balance delta: how much the worse of the two parts'
-                // relative load improves under the move.
-                let bal_gain = {
-                    let load_b_before = part_load(model, pw, ncon, b);
-                    apply_move(pw, ncon, vw, a, b);
-                    let load_a_after = part_load(model, pw, ncon, a);
-                    let load_b_after = part_load(model, pw, ncon, b);
-                    apply_move(pw, ncon, vw, b, a);
-                    load_a_before.max(load_b_before) - load_a_after.max(load_b_after)
-                };
-                if gain == 0 && bal_gain <= 1e-12 {
-                    continue;
-                }
-                let better = match best {
-                    None => true,
-                    Some((bg, bb, _)) => gain > bg || (gain == bg && bal_gain > bb),
-                };
-                if better {
-                    best = Some((gain, bal_gain, b));
+                if best_gain.is_none_or(|bg| gain > bg) {
+                    best_gain = Some(gain);
                 }
             }
-            for &b in &touched {
-                conn[b] = 0;
+            // Phase 2: break gain ties by balance improvement — the float
+            // probes run only for the (usually one) tied candidates.
+            // Zero-gain moves are taken only when they improve balance.
+            let mut best: Option<(i64, f64, usize)> = None;
+            if let Some(bg) = best_gain {
+                let load_a_before = part_load(pw, ncon, a, &inv_avg);
+                for pc in engine.conn_of(v) {
+                    let b = pc.part as usize;
+                    let gain = pc.weight - internal;
+                    if gain != bg || !model.fits(&pw[b * ncon..(b + 1) * ncon], vw) {
+                        continue;
+                    }
+                    // Balance delta: how much the worse of the two parts'
+                    // relative load improves under the move, computed from
+                    // load deltas (pw is never touched during scoring).
+                    let bal_gain = {
+                        let load_b_before = part_load(pw, ncon, b, &inv_avg);
+                        let load_a_after = part_load_shifted(pw, ncon, a, vw, -1, &inv_avg);
+                        let load_b_after = part_load_shifted(pw, ncon, b, vw, 1, &inv_avg);
+                        load_a_before.max(load_b_before) - load_a_after.max(load_b_after)
+                    };
+                    if gain == 0 && bal_gain <= 1e-12 {
+                        continue;
+                    }
+                    if best.is_none_or(|(_, bb, _)| bal_gain > bb) {
+                        best = Some((gain, bal_gain, b));
+                    }
+                }
             }
             if let Some((gain, _, b)) = best {
                 apply_move(pw, ncon, vw, a, b);
-                assignment[v] = b as u32;
+                engine.commit_move(graph, assignment, v, b);
                 moved_this_iter += 1;
                 stats.gain += gain;
                 counter_add(Counter::MovesCommitted, 1);
@@ -131,6 +166,10 @@ pub fn greedy_kway_refine(
         sp.record("moves_attempted", attempted_this_iter);
         sp.record("moves_committed", moved_this_iter);
         metrics::gauge_set("boundary_size", boundary_this_iter as i64);
+        #[cfg(debug_assertions)]
+        if let Err(e) = engine.validate(graph, assignment) {
+            panic!("boundary cache drifted after pass {pass}: {e}");
+        }
         if moved_this_iter == 0 {
             break; // local minimum
         }
@@ -138,22 +177,27 @@ pub fn greedy_kway_refine(
     stats
 }
 
-/// True when `v` is the only vertex of its part (linear scan — only hit in
-/// degenerate k ≈ n configurations where parts hold a handful of vertices).
-fn part_size_one(graph: &Graph, assignment: &[u32], v: usize) -> bool {
-    let a = assignment[v];
-    (0..graph.nvtxs()).filter(|&u| assignment[u] == a).take(2).count() == 1
-}
-
+/// Relative load of part `p`: its worst per-constraint weight over the
+/// per-part average (`inv_avg[i]` = nparts / total weight of constraint `i`,
+/// or 0 for an all-zero constraint).
 #[inline]
-fn part_load(model: &BalanceModel, pw: &[i64], ncon: usize, p: usize) -> f64 {
+fn part_load(pw: &[i64], ncon: usize, p: usize, inv_avg: &[f64]) -> f64 {
     let mut worst: f64 = 0.0;
     for i in 0..ncon {
-        let t = model.totals()[i];
-        if t > 0 {
-            let avg = t as f64 / model.nparts() as f64;
-            worst = worst.max(pw[p * ncon + i] as f64 / avg);
-        }
+        worst = worst.max(pw[p * ncon + i] as f64 * inv_avg[i]);
+    }
+    worst
+}
+
+/// [`part_load`] of part `p` as if a vertex of weight `vw` had been moved
+/// in (`sign = 1`) or out (`sign = -1`). Integer arithmetic first, then the
+/// same float multiply as `part_load`, so the value is bit-identical to an
+/// apply/revert probe.
+#[inline]
+fn part_load_shifted(pw: &[i64], ncon: usize, p: usize, vw: &[i64], sign: i64, inv_avg: &[f64]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for i in 0..ncon {
+        worst = worst.max((pw[p * ncon + i] + sign * vw[i]) as f64 * inv_avg[i]);
     }
     worst
 }
@@ -250,5 +294,53 @@ mod tests {
         let stats = greedy_kway_refine(&g, &mut assignment, &mut pw, &model, 8, &mut rng(5));
         assert!(stats.gain >= 0);
         assert!(edge_cut_raw(&g, &assignment) <= before);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_workspace() {
+        let g = synthetic::type1(&grid_2d(16, 16), 2, 6);
+        let model = BalanceModel::new(&g, 4, 0.05);
+        let start = striped(256, 4);
+
+        let mut ws = RefineWorkspace::new();
+        let mut a1 = start.clone();
+        let mut pw1 = part_weights(&g, &a1, 4);
+        // Dirty the workspace on a different problem first.
+        greedy_kway_refine_ws(&g, &mut a1, &mut pw1, &model, 2, &mut rng(9), &mut ws);
+        let mut a1 = start.clone();
+        let mut pw1 = part_weights(&g, &a1, 4);
+        greedy_kway_refine_ws(&g, &mut a1, &mut pw1, &model, 4, &mut rng(10), &mut ws);
+
+        let mut a2 = start;
+        let mut pw2 = part_weights(&g, &a2, 4);
+        greedy_kway_refine(&g, &mut a2, &mut pw2, &model, 4, &mut rng(10));
+        assert_eq!(a1, a2, "reused workspace changed the result");
+        assert_eq!(pw1, pw2);
+    }
+
+    #[test]
+    fn k_near_n_does_not_empty_parts_and_stays_fast() {
+        // One vertex per part: nothing may move (the last-vertex rule), and
+        // the check is O(1) per vertex — the old O(n) `part_size_one` scan
+        // made such configurations quadratic.
+        let g = grid_2d(40, 40);
+        let n = g.nvtxs();
+        let mut assignment: Vec<u32> = (0..n as u32).collect();
+        let model = BalanceModel::new(&g, n, 0.05);
+        let mut pw = part_weights(&g, &assignment, n);
+        let stats = greedy_kway_refine(&g, &mut assignment, &mut pw, &model, 4, &mut rng(11));
+        assert_eq!(stats.moves, 0, "moved the last vertex of a part");
+        // k = n/2: every part has two vertices; refinement may move, but no
+        // part may end empty.
+        let k = n / 2;
+        let mut assignment: Vec<u32> = (0..n).map(|v| (v / 2) as u32).collect();
+        let model = BalanceModel::new(&g, k, 0.05);
+        let mut pw = part_weights(&g, &assignment, k);
+        greedy_kway_refine(&g, &mut assignment, &mut pw, &model, 4, &mut rng(12));
+        let mut count = vec![0u32; k];
+        for &p in &assignment {
+            count[p as usize] += 1;
+        }
+        assert!(count.iter().all(|&c| c > 0), "refinement emptied a part");
     }
 }

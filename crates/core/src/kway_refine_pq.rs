@@ -2,18 +2,48 @@
 //! METIS-style alternative to the random-order greedy sweep of
 //! [`crate::kway_refine`].
 //!
-//! All boundary vertices enter one global max-heap keyed by their best move
+//! Boundary vertices enter one global max-heap keyed by their best move
 //! gain; moves are applied best-first, with neighbour keys updated after
 //! each move. Gain ordering front-loads the largest gains at the cost of
 //! the heap's `O(log n)` per update, and settles in a different local
 //! minimum than the randomised sweep — sometimes better, sometimes worse.
 //! That trade-off is what this module exists to measure (DESIGN.md
 //! ablation index; bench `phases_micro`).
+//!
+//! The heap is seeded from the [`crate::boundary::BoundaryEngine`] boundary
+//! set, and each vertex's best move is read off the engine's cached
+//! connectivity instead of rescanning its adjacency list.
 
 use crate::balance::{apply_move, BalanceModel};
+use crate::boundary::{BoundaryEngine, RefineWorkspace};
 use crate::kway_refine::KwayRefineStats;
 use crate::pqueue::IndexedMaxHeap;
 use mcgp_graph::Graph;
+
+/// Best strictly-positive-gain move of `v` under the current caches.
+fn best_move(
+    engine: &BoundaryEngine,
+    graph: &Graph,
+    v: usize,
+    pw: &[i64],
+    model: &BalanceModel,
+    ncon: usize,
+) -> Option<(i64, usize)> {
+    let internal = engine.internal(v);
+    let vw = graph.vwgt(v);
+    let mut best: Option<(i64, usize)> = None;
+    for pc in engine.conn_of(v) {
+        let b = pc.part as usize;
+        if !model.fits(&pw[b * ncon..(b + 1) * ncon], vw) {
+            continue;
+        }
+        let gain = pc.weight - internal;
+        if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
+            best = Some((gain, b));
+        }
+    }
+    best
+}
 
 /// Runs up to `iters` gain-ordered refinement passes. Interface matches
 /// [`crate::kway_refine::greedy_kway_refine`].
@@ -26,55 +56,18 @@ pub fn pq_kway_refine(
 ) -> KwayRefineStats {
     let n = graph.nvtxs();
     let ncon = graph.ncon();
-    let nparts = model.nparts();
     let mut stats = KwayRefineStats::default();
-    let mut conn: Vec<i64> = vec![0; nparts];
-    let mut touched: Vec<usize> = Vec::with_capacity(16);
+    let mut ws = RefineWorkspace::new();
+    let engine = &mut ws.engine;
+    engine.rebuild(graph, assignment, model.nparts());
     let mut heap = IndexedMaxHeap::new(n);
-
-    // Best move of a vertex under the current state.
-    let best_move = |v: usize,
-                     assignment: &[u32],
-                     pw: &[i64],
-                     conn: &mut Vec<i64>,
-                     touched: &mut Vec<usize>|
-     -> Option<(i64, usize)> {
-        let a = assignment[v] as usize;
-        touched.clear();
-        let mut internal = 0i64;
-        for (u, w) in graph.edges(v) {
-            let pu = assignment[u as usize] as usize;
-            if pu == a {
-                internal += w;
-            } else {
-                if conn[pu] == 0 {
-                    touched.push(pu);
-                }
-                conn[pu] += w;
-            }
-        }
-        let vw = graph.vwgt(v);
-        let mut best: Option<(i64, usize)> = None;
-        for &b in touched.iter() {
-            if !model.fits(&pw[b * ncon..(b + 1) * ncon], vw) {
-                continue;
-            }
-            let gain = conn[b] - internal;
-            if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
-                best = Some((gain, b));
-            }
-        }
-        for &b in touched.iter() {
-            conn[b] = 0;
-        }
-        best
-    };
 
     for _ in 0..iters {
         stats.iterations += 1;
         heap.clear();
-        for v in 0..n {
-            if let Some((gain, _)) = best_move(v, assignment, pw, &mut conn, &mut touched) {
+        for i in 0..engine.boundary().len() {
+            let v = engine.boundary()[i] as usize;
+            if let Some((gain, _)) = best_move(engine, graph, v, pw, model, ncon) {
                 heap.insert(v as u32, gain);
             }
         }
@@ -83,7 +76,7 @@ pub fn pq_kway_refine(
             let v = v as usize;
             // Gains may have gone stale; recompute and either re-queue or
             // apply.
-            let Some((gain, b)) = best_move(v, assignment, pw, &mut conn, &mut touched) else {
+            let Some((gain, b)) = best_move(engine, graph, v, pw, model, ncon) else {
                 continue;
             };
             if gain < key {
@@ -91,15 +84,18 @@ pub fn pq_kway_refine(
                 continue;
             }
             let a = assignment[v] as usize;
+            // Never empty a subdomain.
+            if engine.part_count(a) == 1 {
+                continue;
+            }
             apply_move(pw, ncon, graph.vwgt(v), a, b);
-            assignment[v] = b as u32;
+            engine.commit_move(graph, assignment, v, b);
             moved_this_iter += 1;
             stats.gain += gain;
             // Neighbours' best moves changed: refresh their keys.
-            let nbrs: Vec<u32> = graph.neighbors(v).to_vec();
-            for u in nbrs {
-                let u = u as usize;
-                match best_move(u, assignment, pw, &mut conn, &mut touched) {
+            for i in 0..graph.degree(v) {
+                let u = graph.neighbors(v)[i] as usize;
+                match best_move(engine, graph, u, pw, model, ncon) {
                     Some((g, _)) => heap.upsert(u as u32, g),
                     None => {
                         heap.remove(u as u32);
@@ -108,6 +104,10 @@ pub fn pq_kway_refine(
             }
         }
         stats.moves += moved_this_iter;
+        #[cfg(debug_assertions)]
+        if let Err(e) = engine.validate(graph, assignment) {
+            panic!("boundary cache drifted in pq refinement: {e}");
+        }
         if moved_this_iter == 0 {
             break;
         }
@@ -118,11 +118,11 @@ pub fn pq_kway_refine(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcgp_runtime::rng::Rng;
     use crate::balance::part_weights;
     use mcgp_graph::generators::{grid_2d, mrng_like};
     use mcgp_graph::metrics::edge_cut_raw;
     use mcgp_graph::synthetic;
+    use mcgp_runtime::rng::Rng;
 
     fn random_start(n: usize, k: usize, seed: u64) -> Vec<u32> {
         let mut rng = Rng::seed_from_u64(seed);

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod balance;
+pub mod boundary;
 pub mod coarsen;
 pub mod config;
 pub mod fm2way;

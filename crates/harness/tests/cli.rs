@@ -264,3 +264,45 @@ fn trace_check_rejects_garbage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("invalid trace"));
 }
+
+#[test]
+fn bench_check_accepts_good_and_rejects_drifted_records() {
+    let dir = std::env::temp_dir().join("mcgp_cli_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let good = dir.join("good.json");
+    std::fs::write(
+        &good,
+        "{\"bench\":\"refine/smoke\",\"samples\":3,\"median_s\":0.2,\"min_s\":0.1,\"max_s\":0.3}\n",
+    )
+    .unwrap();
+    let out = mcgp()
+        .args(["bench-check", good.to_str().unwrap()])
+        .output()
+        .expect("run mcgp bench-check");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 bench records"));
+
+    // A record missing a timing field fails, as does an empty file.
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"bench\":\"x\",\"samples\":3,\"median_s\":0.2}\n").unwrap();
+    let out = mcgp()
+        .args(["bench-check", bad.to_str().unwrap()])
+        .output()
+        .expect("run mcgp bench-check");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("min_s"));
+
+    let empty = dir.join("empty.json");
+    std::fs::write(&empty, "").unwrap();
+    let out = mcgp()
+        .args(["bench-check", empty.to_str().unwrap()])
+        .output()
+        .expect("run mcgp bench-check");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no bench records"));
+}

@@ -39,6 +39,7 @@
 //! assert!(result.stats.supersteps > 0);
 //! ```
 
+pub mod boundary_par;
 pub mod coarsen_par;
 pub mod cost;
 pub mod dist;

@@ -36,6 +36,7 @@
 //! destination at its remaining room, so balancing can never create a new
 //! violation.
 
+use crate::boundary_par::{CommittedMove, ProcBoundary};
 use crate::cost::CostTracker;
 use crate::dist::DistGraph;
 use mcgp_core::balance::BalanceModel;
@@ -80,9 +81,27 @@ pub fn reservation_refine(
     let nparts = model.nparts();
     let mut stats = ParRefineStats::default();
 
+    // Per-processor boundary sets: built once per level from the published
+    // partition, then kept exact across commit rounds (apply_commits), so
+    // every propose sweep visits only boundary vertices. The build replaces
+    // the first iteration's full block scan; its computation is charged to
+    // that iteration's propose superstep (no extra superstep).
+    let built: Vec<(ProcBoundary, u64)> = mcgp_runtime::pool::map(p, |q| {
+        let lg = dist.local(q);
+        let comp = (lg.nlocal() + lg.nedges_local()) as u64;
+        (ProcBoundary::build(lg, part), comp)
+    });
+    let mut boundaries: Vec<ProcBoundary> = Vec::with_capacity(p);
+    let mut build_comp = vec![0u64; p];
+    for (q, (pb, c)) in built.into_iter().enumerate() {
+        build_comp[q] = c;
+        boundaries.push(pb);
+    }
+
     for iter in 0..iters {
         stats.iterations += 1;
         let upward = iter % 2 == 0;
+        let boundary_total: usize = boundaries.iter().map(|b| b.boundary().len()).sum();
 
         // --- 1. Propose (concurrent, reads published state only) ----------
         // Each processor performs a *local KL-like sweep with immediate
@@ -118,7 +137,12 @@ pub fn reservation_refine(
                 };
                 let mut conn: Vec<i64> = vec![0; nparts];
                 let mut touched: Vec<usize> = Vec::new();
-                for lv in 0..lg.nlocal() {
+                // Only boundary vertices (under the published partition) can
+                // have a foreign-part neighbor; vertices pulled onto the
+                // boundary by this sweep's own tentative moves are picked up
+                // next iteration, after the commit refreshes the sets.
+                for &lv in boundaries[q].boundary() {
+                    let lv = lv as usize;
                     let v = lg.global(lv);
                     let a = local_part[lv] as usize;
                     comp_q += ncon as u64;
@@ -182,7 +206,7 @@ pub fn reservation_refine(
         let mut proposals: Vec<Move> = Vec::new();
         let mut inflow = vec![0i64; nparts * ncon];
         for (q, (comp_q, bytes_q, proposals_q, inflow_q)) in per_proc.into_iter().enumerate() {
-            comp[q] = comp_q;
+            comp[q] = comp_q + if iter == 0 { build_comp[q] } else { 0 };
             bytes[q] = bytes_q;
             proposals.extend(proposals_q);
             for (idx, w) in inflow_q.into_iter().enumerate() {
@@ -250,11 +274,31 @@ pub fn reservation_refine(
             tracker.superstep(&comp, &bytes);
         }
 
+        // Bring the boundary sets up to date with the committed round.
+        let commits: Vec<CommittedMove> = committed
+            .iter()
+            .map(|m| CommittedMove {
+                v: m.v,
+                from: m.from,
+                to: m.to,
+            })
+            .collect();
+        for (q, pb) in boundaries.iter_mut().enumerate() {
+            pb.apply_commits(dist.local(q), part, &commits);
+        }
+        #[cfg(debug_assertions)]
+        for (q, pb) in boundaries.iter().enumerate() {
+            if let Err(e) = pb.validate(dist.local(q), part) {
+                panic!("boundary set of proc {q} drifted after iter {iter}: {e}");
+            }
+        }
+
         stats.committed += committed.len();
         mcgp_runtime::event!(
             "reservation_iter",
             iter = iter,
             upward = u64::from(upward),
+            boundary = boundary_total,
             proposed = proposed,
             granted = committed.len(),
             withheld = proposed - committed.len(),

@@ -11,6 +11,7 @@
 //! to 50 % worse than serial. Kept here as the ablation baseline
 //! (experiment A1 in DESIGN.md).
 
+use crate::boundary_par::{CommittedMove, ProcBoundary};
 use crate::cost::CostTracker;
 use crate::dist::DistGraph;
 use crate::refine_par::ParRefineStats;
@@ -32,6 +33,16 @@ pub fn slice_refine(
     let nparts = model.nparts();
     let mut stats = ParRefineStats::default();
 
+    // Per-processor boundary sets, built once per level and updated after
+    // every commit (see `boundary_par`); the build replaces the first
+    // iteration's full block scan and is charged to its propose superstep.
+    let mut boundaries: Vec<ProcBoundary> = (0..p)
+        .map(|q| ProcBoundary::build(dist.local(q), part))
+        .collect();
+    let build_comp: Vec<u64> = (0..p)
+        .map(|q| (dist.local(q).nlocal() + dist.local(q).nedges_local()) as u64)
+        .collect();
+
     for iter in 0..iters {
         stats.iterations += 1;
         let upward = iter % 2 == 0;
@@ -50,11 +61,17 @@ pub fn slice_refine(
         let mut all_moves: Vec<(u32, u32, u32, u32)> = Vec::new(); // (v, from, to, proc)
         for q in 0..p {
             let lg = dist.local(q);
+            if iter == 0 {
+                comp[q] += build_comp[q];
+            }
             bytes[q] += (dist.halo_size(q) * 4) as u64;
             let mut used = vec![0i64; nparts * ncon];
             let mut conn: Vec<i64> = vec![0; nparts];
             let mut touched: Vec<usize> = Vec::new();
-            for lv in 0..lg.nlocal() {
+            // The slice sweep reads the published partition directly, so
+            // the published boundary set is exactly the candidate set.
+            for &lv in boundaries[q].boundary() {
+                let lv = lv as usize;
                 let v = lg.global(lv);
                 let a = part[v] as usize;
                 comp[q] += ncon as u64;
@@ -127,6 +144,20 @@ pub fn slice_refine(
                 .map(|q| (2 * nparts * ncon * 8 + dist.halo_size(q) * 4) as u64)
                 .collect();
             tracker.superstep(&comp, &bytes);
+        }
+        // Bring the boundary sets up to date with the committed round.
+        let commits: Vec<CommittedMove> = all_moves
+            .iter()
+            .map(|&(v, from, to, _)| CommittedMove { v, from, to })
+            .collect();
+        for (q, pb) in boundaries.iter_mut().enumerate() {
+            pb.apply_commits(dist.local(q), part, &commits);
+        }
+        #[cfg(debug_assertions)]
+        for (q, pb) in boundaries.iter().enumerate() {
+            if let Err(e) = pb.validate(dist.local(q), part) {
+                panic!("boundary set of proc {q} drifted after iter {iter}: {e}");
+            }
         }
         stats.committed += all_moves.len();
         if all_moves.is_empty() {

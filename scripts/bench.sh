@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Refinement perf trajectory: runs the refinement-heavy bench targets and
+# writes BENCH_refine.json (one JSONL record per bench: median/min/max wall
+# seconds over $SAMPLES samples) at the repo root, then validates the file's
+# schema with `mcgp bench-check`. Future PRs compare their medians against
+# the committed file.
+#
+#   SAMPLES=5 scripts/bench.sh          # default 5 samples per bench
+#   scripts/bench.sh smoke              # filter benches by substring
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SAMPLES="${SAMPLES:-5}"
+OUT="${OUT:-BENCH_refine.json}"
+
+cargo build --release --offline -p mcgp-harness
+cargo bench --offline -p mcgp-bench --bench refine_boundary -- \
+    --samples "$SAMPLES" "$@" > "$OUT"
+./target/release/mcgp bench-check "$OUT"
+echo "bench: wrote $OUT"

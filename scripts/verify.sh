@@ -23,4 +23,11 @@ test -s "$TRACE_DIR/smoke.trace.jsonl"
     --trace "$TRACE_DIR/smoke.trace.json" --trace-format chrome \
     --outfile "$TRACE_DIR/smoke.part"
 ./target/release/mcgp trace-check "$TRACE_DIR/smoke.trace.json" --format chrome
+
+# Bench smoke test: run the small refinement bench and fail on any drift in
+# the JSONL result format (`mcgp bench-check` validates every record).
+cargo bench --offline -p mcgp-bench --bench refine_boundary -- \
+    --samples 3 smoke > "$TRACE_DIR/bench_smoke.json"
+test -s "$TRACE_DIR/bench_smoke.json"
+./target/release/mcgp bench-check "$TRACE_DIR/bench_smoke.json"
 echo "verify: OK"

@@ -293,3 +293,46 @@ fn dist_graph_gather_is_identity() {
         assert_eq!(d.gather(), g);
     });
 }
+
+#[test]
+fn boundary_cache_equals_recompute_after_arbitrary_moves() {
+    for_each_seed(
+        "boundary_cache_equals_recompute_after_arbitrary_moves",
+        CASES,
+        |seed| {
+            // The incremental boundary/connectivity cache must equal a
+            // from-scratch recompute after ANY sequence of committed moves
+            // (boundary moves, interior moves, teleports into empty parts).
+            use mcgp::core::boundary::BoundaryEngine;
+            use mcgp::graph::synthetic;
+            let mut rng = Rng::seed_from_u64(seed);
+            let base = random_connected(rng.gen_range(30..250usize), 4.0, rng.gen_range(0..1000u64));
+            let ncon = *[1usize, 3, 5].as_slice().choose(&mut rng).unwrap();
+            let wseed = rng.gen_range(0..1000u64);
+            let g = if rng.gen_range(0..2u32) == 0 {
+                synthetic::type1(&base, ncon, wseed)
+            } else {
+                synthetic::type2(&base, ncon, wseed)
+            };
+            let n = g.nvtxs();
+            let k = rng.gen_range(2..8usize);
+            let mut assignment: Vec<u32> = (0..n).map(|v| ((v * k) / n) as u32).collect();
+            let mut engine = BoundaryEngine::new();
+            engine.rebuild(&g, &assignment, k);
+            let moves = rng.gen_range(1..120usize);
+            for step in 0..moves {
+                let v = if step % 5 == 0 || engine.boundary().is_empty() {
+                    rng.gen_range(0..n as u32) as usize
+                } else {
+                    let i = rng.gen_range(0..engine.boundary().len() as u32) as usize;
+                    engine.boundary()[i] as usize
+                };
+                let to = rng.gen_range(0..k as u32) as usize;
+                engine.commit_move(&g, &mut assignment, v, to);
+            }
+            engine.validate(&g, &assignment).unwrap_or_else(|e| {
+                panic!("cache drifted from recompute after {moves} moves: {e}")
+            });
+        },
+    );
+}

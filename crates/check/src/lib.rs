@@ -1,0 +1,27 @@
+//! # mcgp-check — the correctness subsystem
+//!
+//! Three layers of machinery that keep the partitioning pipeline honest
+//! (KaHIP/Mt-KaHyPar-style engineering discipline):
+//!
+//! * **Invariant validation** — re-exported from [`mcgp_graph::check`]: the
+//!   structural validators every pipeline seam runs behind a [`CheckLevel`]
+//!   knob, and that the `mcgp check` CLI subcommand applies to a
+//!   `(graph, partition)` pair from disk.
+//! * **Differential testing** ([`differential`]) — runs the serial `kway`
+//!   and parallel `kway_par` drivers over a seeded sweep of generated
+//!   multi-constraint workloads and asserts both produce *valid* partitions
+//!   whose cut and imbalance stay within documented envelopes of each other.
+//! * **Structure-aware fuzzing** ([`fuzz`]) — deterministic, seed-driven
+//!   corruption of well-formed METIS graph/partition files (truncations,
+//!   asymmetric edges, weight-count mismatches, huge indices) asserting the
+//!   readers return typed errors, never panic.
+
+pub mod corpus;
+pub mod differential;
+pub mod fuzz;
+
+pub use mcgp_graph::check::{
+    check_assignment, check_balance, check_conserved_weights, check_graph, check_no_empty_parts,
+    check_partition, check_projection,
+};
+pub use mcgp_graph::{CheckLevel, McgpError};

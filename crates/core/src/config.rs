@@ -1,5 +1,7 @@
 //! Partitioner configuration.
 
+use mcgp_graph::CheckLevel;
+
 /// Coarsening matching scheme.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MatchingScheme {
@@ -42,6 +44,13 @@ pub struct PartitionConfig {
     /// FM hill-climbing window: abort a pass after this many consecutive
     /// non-improving moves.
     pub fm_window: usize,
+    /// Invariant validation at every pipeline seam (post-coarsen per level,
+    /// post-initial, post-project, post-refine). Defaults to `Cheap` when
+    /// debug assertions are on, `Off` otherwise; override with the
+    /// `MCGP_CHECK` environment variable (`off | cheap | full`). A violation
+    /// is a bug in the partitioner, not in the input, so the drivers panic
+    /// with the catalogued invariant name.
+    pub check: CheckLevel,
 }
 
 impl Default for PartitionConfig {
@@ -56,6 +65,7 @@ impl Default for PartitionConfig {
             init_tries: 8,
             fm_passes: 8,
             fm_window: 120,
+            check: CheckLevel::for_build(),
         }
     }
 }

@@ -10,10 +10,20 @@ use crate::kway_refine::{greedy_kway_refine_ws, KwayRefineStats};
 use crate::rb::recursive_bisection_assignment;
 use crate::PartitionResult;
 use crate::balance::imbalances_from_pw;
+use mcgp_graph::check as gcheck;
 use mcgp_graph::Graph;
 use mcgp_runtime::event;
 use mcgp_runtime::phase::{timed, Phase};
 use mcgp_runtime::rng::Rng;
+
+/// Aborts on an invariant violation detected at a pipeline seam. These are
+/// partitioner bugs (never input errors — those surface as `Result`s from
+/// the I/O layer), so the driver fails loudly with the invariant's name.
+pub(crate) fn enforce(result: mcgp_graph::Result<()>) {
+    if let Err(e) = result {
+        panic!("mcgp-check: {e}");
+    }
+}
 
 /// Computes a k-way multi-constraint partition with the multilevel k-way
 /// algorithm. This is the serial baseline of every experiment in the paper.
@@ -32,11 +42,35 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
     let levels = hierarchy.nlevels();
     let coarsest = hierarchy.coarsest().unwrap_or(graph);
 
+    // Seam: post-coarsen. Each contraction must conserve the per-constraint
+    // weight totals, shrink the graph, and produce a structurally valid CSR
+    // with an in-range projection map.
+    if config.check.enabled() {
+        let mut finer = graph;
+        for level in hierarchy.levels() {
+            enforce(gcheck::check_graph(&level.graph, config.check));
+            enforce(gcheck::check_conserved_weights(finer, &level.graph));
+            enforce(gcheck::check_projection(
+                &level.cmap,
+                finer.nvtxs(),
+                level.graph.nvtxs(),
+            ));
+            finer = &level.graph;
+        }
+    }
+
     // Phase 2: initial partitioning of the coarsest graph via recursive
     // bisection.
     let mut assignment = timed(Phase::Initial, || {
         recursive_bisection_assignment(coarsest, nparts, config, &mut rng)
     });
+
+    // Seam: post-initial. Recursive bisection must emit an in-range
+    // assignment that covers every subdomain.
+    if config.check.enabled() {
+        enforce(gcheck::check_assignment(coarsest, &assignment, nparts));
+        enforce(gcheck::check_no_empty_parts(&assignment, nparts));
+    }
 
     // Phase 3: uncoarsening with refinement (and explicit balancing when a
     // level starts outside the caps). One workspace serves every level: the
@@ -55,6 +89,12 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
         }
         let stats: KwayRefineStats =
             greedy_kway_refine_ws(g, assignment, &mut pw, &model, config.refine_iters, rng, ws);
+        // Seam: post-refine. Refinement moves vertices but must keep the
+        // assignment in range and every subdomain populated.
+        if config.check.enabled() {
+            enforce(gcheck::check_assignment(g, assignment, nparts));
+            enforce(gcheck::check_no_empty_parts(assignment, nparts));
+        }
         // Field expressions (cut recount, imbalance scan) are only
         // evaluated when tracing is enabled.
         event!(
@@ -78,6 +118,11 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
             } else {
                 &hierarchy.levels()[lvl - 1].graph
             };
+            // Seam: post-project. Projection maps every fine vertex through
+            // the cmap, so length and range must already hold here.
+            if config.check.enabled() {
+                enforce(gcheck::check_assignment(finer, &assignment, nparts));
+            }
             refine_on(lvl, finer, &mut assignment, &mut rng, &mut ws);
         }
 

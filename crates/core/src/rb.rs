@@ -133,6 +133,18 @@ pub fn partition_rb(graph: &Graph, nparts: usize, config: &PartitionConfig) -> P
         coarsen(graph, config.coarsen_target(2), config, &mut probe_rng).nlevels()
     };
     let assignment = recursive_bisection_assignment(graph, nparts, config, &mut rng);
+    // Seam: post-refine (recursive bisection refines inside each split).
+    if config.check.enabled() {
+        crate::kway::enforce(mcgp_graph::check::check_assignment(
+            graph,
+            &assignment,
+            nparts,
+        ));
+        crate::kway::enforce(mcgp_graph::check::check_no_empty_parts(
+            &assignment,
+            nparts,
+        ));
+    }
     PartitionResult::measure(graph, assignment, nparts, levels)
 }
 

@@ -209,6 +209,49 @@ impl Graph {
     /// Checks all structural invariants. `O(|E| log d)` due to the symmetry
     /// check (binary search over sorted copies of each adjacency list).
     pub fn validate(&self) -> Result<()> {
+        self.validate_cheap()?;
+        // Symmetry with matching weights: build (u, wgt) sorted views lazily.
+        let mut sorted: Vec<Vec<(Vertex, i64)>> = Vec::with_capacity(self.nvtxs);
+        for v in 0..self.nvtxs {
+            let mut lst: Vec<(Vertex, i64)> = self.edges(v).collect();
+            lst.sort_unstable();
+            for w in lst.windows(2) {
+                if w[0].0 == w[1].0 {
+                    return Err(GraphError::Malformed(format!(
+                        "duplicate edge ({v}, {})",
+                        w[0].0
+                    )));
+                }
+            }
+            sorted.push(lst);
+        }
+        for v in 0..self.nvtxs {
+            for &(u, w) in &sorted[v] {
+                let back = &sorted[u as usize];
+                match back.binary_search_by_key(&(v as Vertex), |&(x, _)| x) {
+                    Ok(pos) if back[pos].1 == w => {}
+                    Ok(pos) => {
+                        return Err(GraphError::NotUndirected(format!(
+                            "edge ({v},{u}) weight {w} != reverse weight {}",
+                            back[pos].1
+                        )))
+                    }
+                    Err(_) => {
+                        return Err(GraphError::NotUndirected(format!(
+                            "edge ({v},{u}) has no reverse edge"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The `O(|V| + |E|)` subset of [`Graph::validate`]: array lengths,
+    /// monotone offsets, index ranges, self-loops, and weight signs — every
+    /// invariant except adjacency symmetry/deduplication. This is what
+    /// [`crate::check::CheckLevel::Cheap`] runs at each pipeline seam.
+    pub fn validate_cheap(&self) -> Result<()> {
         if self.xadj.len() != self.nvtxs + 1 {
             return Err(GraphError::Malformed("xadj length != nvtxs + 1".into()));
         }
@@ -248,40 +291,6 @@ impl Graph {
                     return Err(GraphError::NotUndirected(format!(
                         "self-loop at vertex {v}"
                     )));
-                }
-            }
-        }
-        // Symmetry with matching weights: build (u, wgt) sorted views lazily.
-        let mut sorted: Vec<Vec<(Vertex, i64)>> = Vec::with_capacity(self.nvtxs);
-        for v in 0..self.nvtxs {
-            let mut lst: Vec<(Vertex, i64)> = self.edges(v).collect();
-            lst.sort_unstable();
-            for w in lst.windows(2) {
-                if w[0].0 == w[1].0 {
-                    return Err(GraphError::Malformed(format!(
-                        "duplicate edge ({v}, {})",
-                        w[0].0
-                    )));
-                }
-            }
-            sorted.push(lst);
-        }
-        for v in 0..self.nvtxs {
-            for &(u, w) in &sorted[v] {
-                let back = &sorted[u as usize];
-                match back.binary_search_by_key(&(v as Vertex), |&(x, _)| x) {
-                    Ok(pos) if back[pos].1 == w => {}
-                    Ok(pos) => {
-                        return Err(GraphError::NotUndirected(format!(
-                            "edge ({v},{u}) weight {w} != reverse weight {}",
-                            back[pos].1
-                        )))
-                    }
-                    Err(_) => {
-                        return Err(GraphError::NotUndirected(format!(
-                            "edge ({v},{u}) has no reverse edge"
-                        )))
-                    }
                 }
             }
         }

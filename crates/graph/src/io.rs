@@ -8,11 +8,27 @@
 //! Each subsequent non-comment line lists one vertex: its `ncon` weights (if
 //! any) followed by `neighbor [edge-weight]` pairs with **1-based** vertex
 //! ids. `%`-prefixed lines are comments.
+//!
+//! The reader is hardened against untrusted input: every malformed construct
+//! produces a typed [`McgpError::Parse`] with line (and token) context,
+//! quantities that would not fit the `u32` adjacency index width produce
+//! [`McgpError::Overflow`], and declared sizes never drive unbounded
+//! allocations.
 
 use crate::csr::{Graph, Vertex};
-use crate::{GraphError, Result};
+use crate::{McgpError, Result};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+
+/// Upper bound on the number of balance constraints a file may declare.
+/// METIS itself is compiled with a small fixed cap; the paper never exceeds
+/// 5. This guards the `nvtxs * ncon` weight-array allocation.
+pub const MAX_NCON: usize = 255;
+
+/// Cap on speculative `Vec::with_capacity` reservations driven by header
+/// fields, so a malicious header cannot trigger a huge up-front allocation;
+/// the vectors still grow on demand while parsing real data.
+const MAX_PREALLOC: usize = 1 << 22;
 
 /// Reads a METIS-format graph from any reader.
 pub fn read_metis<R: Read>(reader: R) -> Result<Graph> {
@@ -31,63 +47,106 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph> {
                 break (no + 1, trimmed.to_string());
             }
             None => {
-                return Err(GraphError::Parse {
-                    line: 0,
-                    msg: "empty file".into(),
-                });
+                return Err(McgpError::parse(0, "empty file"));
             }
         }
     };
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() < 2 || fields.len() > 4 {
-        return Err(GraphError::Parse {
-            line: header_line_no,
-            msg: format!("header must have 2-4 fields, got {}", fields.len()),
-        });
+        return Err(McgpError::parse(
+            header_line_no,
+            format!("header must have 2-4 fields, got {}", fields.len()),
+        ));
     }
-    let parse_usize = |s: &str, line: usize| -> Result<usize> {
-        s.parse().map_err(|_| GraphError::Parse {
+    let parse_usize = |s: &str, line: usize, col: usize| -> Result<usize> {
+        s.parse().map_err(|_| McgpError::Parse {
             line,
+            col,
             msg: format!("invalid integer `{s}`"),
         })
     };
-    let nvtxs = parse_usize(fields[0], header_line_no)?;
-    let nedges = parse_usize(fields[1], header_line_no)?;
-    let fmt = if fields.len() >= 3 { fields[2] } else { "000" };
-    if fmt.len() > 3 || fmt.chars().any(|c| !c.is_ascii_digit()) {
-        return Err(GraphError::Parse {
-            line: header_line_no,
-            msg: format!("invalid fmt field `{fmt}`"),
+    let nvtxs = parse_usize(fields[0], header_line_no, 1)?;
+    let nedges = parse_usize(fields[1], header_line_no, 2)?;
+    // Adjacency indices are u32: a vertex count beyond that width cannot be
+    // represented, and `2 * nedges` must not overflow usize either.
+    if nvtxs > Vertex::MAX as usize {
+        return Err(McgpError::Overflow {
+            what: "vertex count",
+            value: nvtxs as u128,
+            limit: Vertex::MAX as u128,
         });
     }
-    let fmt_num: usize = fmt.parse().unwrap_or(0);
-    let has_vsize = !(fmt_num / 100).is_multiple_of(10);
-    let has_vwgt = !(fmt_num / 10).is_multiple_of(10);
-    let has_ewgt = !fmt_num.is_multiple_of(10);
-    if has_vsize {
-        return Err(GraphError::Parse {
+    let declared_adj = nedges.checked_mul(2).ok_or(McgpError::Overflow {
+        what: "edge count",
+        value: nedges as u128,
+        limit: (usize::MAX / 2) as u128,
+    })?;
+    // The `fmt` flag string: 1-3 binary digits (hundreds = vertex sizes,
+    // tens = vertex weights, ones = edge weights). Anything else — including
+    // digits other than 0/1, which older readers silently coerced — is a
+    // parse error, never a silent "no weights" default.
+    let fmt = if fields.len() >= 3 { fields[2] } else { "000" };
+    if fmt.is_empty() || fmt.len() > 3 || fmt.chars().any(|c| c != '0' && c != '1') {
+        return Err(McgpError::Parse {
             line: header_line_no,
+            col: 3,
+            msg: format!("invalid fmt field `{fmt}` (want 1-3 binary digits, e.g. 011)"),
+        });
+    }
+    let padded = format!("{fmt:0>3}");
+    let mut flags = padded.bytes().map(|b| b == b'1');
+    let (has_vsize, has_vwgt, has_ewgt) = (
+        flags.next().unwrap(),
+        flags.next().unwrap(),
+        flags.next().unwrap(),
+    );
+    if has_vsize {
+        return Err(McgpError::Parse {
+            line: header_line_no,
+            col: 3,
             msg: "vertex sizes (fmt=1xx) are not supported".into(),
         });
     }
     let ncon = if fields.len() == 4 {
-        let n = parse_usize(fields[3], header_line_no)?;
+        let n = parse_usize(fields[3], header_line_no, 4)?;
         if n == 0 {
-            return Err(GraphError::Parse {
+            return Err(McgpError::Parse {
                 line: header_line_no,
+                col: 4,
                 msg: "ncon must be >= 1".into(),
+            });
+        }
+        if n > MAX_NCON {
+            return Err(McgpError::Overflow {
+                what: "constraint count",
+                value: n as u128,
+                limit: MAX_NCON as u128,
+            });
+        }
+        if !has_vwgt && n > 1 {
+            return Err(McgpError::Parse {
+                line: header_line_no,
+                col: 4,
+                msg: format!("ncon {n} > 1 requires vertex weights (fmt tens digit = 1)"),
             });
         }
         n
     } else {
         1 // with or without vertex weights: a single constraint
     };
+    // nvtxs <= u32::MAX and ncon <= 255, so this cannot overflow usize, but
+    // keep the checked form as the single place the product is formed.
+    let vwgt_len = nvtxs.checked_mul(ncon).ok_or(McgpError::Overflow {
+        what: "nvtxs * ncon",
+        value: nvtxs as u128 * ncon as u128,
+        limit: usize::MAX as u128,
+    })?;
 
-    let mut xadj = Vec::with_capacity(nvtxs + 1);
+    let mut xadj = Vec::with_capacity((nvtxs + 1).min(MAX_PREALLOC));
     xadj.push(0usize);
-    let mut adjncy: Vec<Vertex> = Vec::with_capacity(2 * nedges);
-    let mut adjwgt: Vec<i64> = Vec::with_capacity(2 * nedges);
-    let mut vwgt: Vec<i64> = Vec::with_capacity(nvtxs * ncon);
+    let mut adjncy: Vec<Vertex> = Vec::with_capacity(declared_adj.min(MAX_PREALLOC));
+    let mut adjwgt: Vec<i64> = Vec::with_capacity(declared_adj.min(MAX_PREALLOC));
+    let mut vwgt: Vec<i64> = Vec::with_capacity(vwgt_len.min(MAX_PREALLOC));
 
     let mut vertex = 0usize;
     for (no, line) in lines {
@@ -100,25 +159,33 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph> {
             if trimmed.is_empty() {
                 continue;
             }
-            return Err(GraphError::Parse {
-                line: no + 1,
-                msg: format!("more than {nvtxs} vertex lines"),
-            });
+            return Err(McgpError::parse(
+                no + 1,
+                format!("more than {nvtxs} vertex lines"),
+            ));
         }
-        let mut tokens = trimmed.split_whitespace();
+        let mut tokens = trimmed.split_whitespace().enumerate();
         if has_vwgt {
             for c in 0..ncon {
-                let tok = tokens.next().ok_or_else(|| GraphError::Parse {
+                let (col, tok) = tokens.next().ok_or_else(|| McgpError::Parse {
                     line: no + 1,
-                    msg: format!("vertex {}: missing weight {}", vertex + 1, c + 1),
+                    col: c + 1, // the token that *should* have been here
+                    msg: format!(
+                        "vertex {}: missing weight {} of {}",
+                        vertex + 1,
+                        c + 1,
+                        ncon
+                    ),
                 })?;
-                let w: i64 = tok.parse().map_err(|_| GraphError::Parse {
+                let w: i64 = tok.parse().map_err(|_| McgpError::Parse {
                     line: no + 1,
+                    col: col + 1,
                     msg: format!("invalid weight `{tok}`"),
                 })?;
                 if w < 0 {
-                    return Err(GraphError::Parse {
+                    return Err(McgpError::Parse {
                         line: no + 1,
+                        col: col + 1,
                         msg: format!("negative vertex weight {w}"),
                     });
                 }
@@ -127,50 +194,56 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph> {
         } else {
             vwgt.extend(std::iter::repeat_n(1, ncon));
         }
-        while let Some(tok) = tokens.next() {
-            let u: usize = tok.parse().map_err(|_| GraphError::Parse {
+        while let Some((col, tok)) = tokens.next() {
+            let u: usize = tok.parse().map_err(|_| McgpError::Parse {
                 line: no + 1,
+                col: col + 1,
                 msg: format!("invalid neighbor id `{tok}`"),
             })?;
             if u == 0 || u > nvtxs {
-                return Err(GraphError::Parse {
+                return Err(McgpError::Parse {
                     line: no + 1,
+                    col: col + 1,
                     msg: format!("neighbor id {u} out of range 1..={nvtxs}"),
                 });
             }
             let w = if has_ewgt {
-                let tok = tokens.next().ok_or_else(|| GraphError::Parse {
+                let (wcol, tok) = tokens.next().ok_or_else(|| McgpError::Parse {
                     line: no + 1,
+                    col: col + 1,
                     msg: format!("neighbor {u}: missing edge weight"),
                 })?;
-                tok.parse().map_err(|_| GraphError::Parse {
+                tok.parse().map_err(|_| McgpError::Parse {
                     line: no + 1,
+                    col: wcol + 1,
                     msg: format!("invalid edge weight `{tok}`"),
                 })?
             } else {
                 1i64
             };
+            // u <= nvtxs <= u32::MAX, so the narrowing below is exact.
             adjncy.push((u - 1) as Vertex);
             adjwgt.push(w);
         }
         xadj.push(adjncy.len());
         vertex += 1;
     }
+    // Both mismatches are violations of what the header (not any one body
+    // line) declared, so point the diagnostic there.
     if vertex != nvtxs {
-        return Err(GraphError::Parse {
-            line: 0,
-            msg: format!("expected {nvtxs} vertex lines, found {vertex}"),
-        });
+        return Err(McgpError::parse(
+            header_line_no,
+            format!("expected {nvtxs} vertex lines, found {vertex}"),
+        ));
     }
-    if adjncy.len() != 2 * nedges {
-        return Err(GraphError::Parse {
-            line: 0,
-            msg: format!(
-                "header declares {nedges} edges but adjacency lists contain {} entries (expected {})",
+    if adjncy.len() != declared_adj {
+        return Err(McgpError::parse(
+            header_line_no,
+            format!(
+                "header declares {nedges} edges but adjacency lists contain {} entries (expected {declared_adj})",
                 adjncy.len(),
-                2 * nedges
             ),
-        });
+        ));
     }
     Graph::from_csr(ncon, xadj, adjncy, adjwgt, vwgt)
 }
@@ -229,8 +302,21 @@ pub fn write_partition<W: Write>(assignment: &[u32], writer: W) -> Result<()> {
     Ok(())
 }
 
-/// Reads a METIS `.part` file.
+/// Reads a METIS `.part` file with no expectation about the number of
+/// subdomains. Prefer [`read_partition_bounded`] when `nparts` is known: it
+/// rejects out-of-range part ids with the offending line instead of handing
+/// an invalid assignment to downstream metrics.
 pub fn read_partition<R: Read>(reader: R) -> Result<Vec<u32>> {
+    read_partition_impl(reader, None)
+}
+
+/// Reads a METIS `.part` file, rejecting any part id `>= nparts` with a
+/// typed error naming the offending line.
+pub fn read_partition_bounded<R: Read>(reader: R, nparts: usize) -> Result<Vec<u32>> {
+    read_partition_impl(reader, Some(nparts))
+}
+
+fn read_partition_impl<R: Read>(reader: R, nparts: Option<usize>) -> Result<Vec<u32>> {
     let reader = BufReader::new(reader);
     let mut out = Vec::new();
     for (no, line) in reader.lines().enumerate() {
@@ -239,10 +325,21 @@ pub fn read_partition<R: Read>(reader: R) -> Result<Vec<u32>> {
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
-        out.push(t.parse().map_err(|_| GraphError::Parse {
+        let p: u32 = t.parse().map_err(|_| McgpError::Parse {
             line: no + 1,
+            col: 1,
             msg: format!("invalid part id `{t}`"),
-        })?);
+        })?;
+        if let Some(k) = nparts {
+            if p as usize >= k {
+                return Err(McgpError::Parse {
+                    line: no + 1,
+                    col: 1,
+                    msg: format!("part id {p} out of range 0..{k}"),
+                });
+            }
+        }
+        out.push(p);
     }
     Ok(out)
 }
@@ -307,7 +404,7 @@ mod tests {
         let text = "3 5\n2\n1 3\n2\n";
         assert!(matches!(
             read_metis(text.as_bytes()),
-            Err(GraphError::Parse { .. })
+            Err(McgpError::Parse { .. })
         ));
     }
 
@@ -331,6 +428,58 @@ mod tests {
     }
 
     #[test]
+    fn rejects_malformed_fmt_instead_of_defaulting_unweighted() {
+        // Regression: `fmt` fields that are not 1-3 binary digits used to be
+        // silently coerced to 0 ("no weights"). They must be parse errors
+        // carrying the header line number.
+        for fmt in ["abc", "019", "2", "0110", "01x"] {
+            let text = format!("2 1 {fmt}\n5 2\n7 1\n");
+            match read_metis(text.as_bytes()) {
+                Err(McgpError::Parse { line, msg, .. }) => {
+                    assert_eq!(line, 1, "fmt `{fmt}`");
+                    assert!(msg.contains("fmt") || msg.contains("vertex sizes"), "{msg}");
+                }
+                other => panic!("fmt `{fmt}`: expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_ncon_without_vertex_weights() {
+        let text = "2 1 001 3\n2 9\n1 9\n";
+        assert!(read_metis(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_huge_header_quantities_with_overflow() {
+        // Vertex count beyond the u32 index width.
+        let text = format!("{} 0\n", (u32::MAX as u64) + 1);
+        assert!(matches!(
+            read_metis(text.as_bytes()),
+            Err(McgpError::Overflow { .. })
+        ));
+        // Constraint count beyond the sane cap.
+        let text = format!("2 1 011 {}\n", MAX_NCON + 1);
+        assert!(matches!(
+            read_metis(text.as_bytes()),
+            Err(McgpError::Overflow { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_errors_carry_token_context() {
+        // Third token of vertex 1's line (neighbor id) is garbage.
+        let text = "2 1 010\n5 zzz\n7 1\n";
+        match read_metis(text.as_bytes()) {
+            Err(McgpError::Parse { line, col, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(col, 2);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_empty_file() {
         assert!(read_metis("".as_bytes()).is_err());
         assert!(read_metis("% only comments\n".as_bytes()).is_err());
@@ -342,6 +491,27 @@ mod tests {
         let mut buf = Vec::new();
         write_partition(&part, &mut buf).unwrap();
         assert_eq!(read_partition(buf.as_slice()).unwrap(), part);
+    }
+
+    #[test]
+    fn bounded_partition_reader_rejects_out_of_range_ids() {
+        let text = "0\n1\n7\n";
+        assert_eq!(
+            read_partition_bounded(text.as_bytes(), 8).unwrap(),
+            vec![0, 1, 7]
+        );
+        match read_partition_bounded(text.as_bytes(), 4) {
+            Err(McgpError::Parse { line, msg, .. }) => {
+                assert_eq!(line, 3);
+                assert!(msg.contains("out of range"), "{msg}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Negative ids are invalid integers for u32 and name their line.
+        match read_partition("0\n-1\n".as_bytes()) {
+            Err(McgpError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!      ablation-imbalance|ablation-constraints|all [options]
 //! mcgp partition <file.graph> <k> [--parallel <p>] [--seed <s>] [--outfile <f>]
 //!                [--trace <f>] [--trace-format jsonl|chrome]
+//! mcgp check <file.graph> [<file.part> <k>] [--tol <t>] [--level cheap|full]
+//! mcgp fuzz [--seed <s>] [--cases <n>]
 //! mcgp trace-check <trace-file> [--format jsonl|chrome]
 //! mcgp bench-check <bench-jsonl-file>
 //!
@@ -39,6 +41,28 @@ struct Opts {
     rest: Vec<String>,
 }
 
+/// Prints a diagnostic and exits with the usage-error status. All CLI
+/// argument problems go through here — the binary must never panic on bad
+/// input.
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// The value following a flag, or a usage error naming the flag.
+fn flag_value<'a, I: Iterator<Item = &'a String>>(it: &mut I, flag: &str, usage: &str) -> &'a str {
+    match it.next() {
+        Some(v) => v.as_str(),
+        None => die(format!("missing value for {flag}\n{usage}")),
+    }
+}
+
+/// Parses a flag value, or a usage error naming the flag and the bad token.
+fn parse_value<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(format!("bad value `{s}` for {flag}")))
+}
+
 fn parse_opts(args: &[String]) -> Opts {
     let mut opts = Opts {
         scale: 16,
@@ -47,20 +71,19 @@ fn parse_opts(args: &[String]) -> Opts {
         out: None,
         rest: Vec::new(),
     };
+    let usage = "options: --scale N --seeds N --procs p1,p2,... --out dir";
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => opts.scale = it.next().expect("--scale N").parse().expect("integer"),
-            "--seeds" => opts.seeds = it.next().expect("--seeds N").parse().expect("integer"),
+            "--scale" => opts.scale = parse_value(flag_value(&mut it, a, usage), a),
+            "--seeds" => opts.seeds = parse_value(flag_value(&mut it, a, usage), a),
             "--procs" => {
-                opts.procs = it
-                    .next()
-                    .expect("--procs list")
+                opts.procs = flag_value(&mut it, a, usage)
                     .split(',')
-                    .map(|s| s.parse().expect("integer list"))
+                    .map(|s| parse_value(s, a))
                     .collect()
             }
-            "--out" => opts.out = Some(PathBuf::from(it.next().expect("--out dir"))),
+            "--out" => opts.out = Some(PathBuf::from(flag_value(&mut it, a, usage))),
             other => opts.rest.push(other.to_string()),
         }
     }
@@ -69,6 +92,19 @@ fn parse_opts(args: &[String]) -> Opts {
 
 fn seeds(n: usize) -> Vec<u64> {
     (0..n as u64).map(|i| 1000 + 37 * i).collect()
+}
+
+/// Writes experiment records under `--out`, exiting with a readable
+/// diagnostic instead of panicking when the directory is unwritable.
+fn write_out<T: mcgp_runtime::json::ToJson>(
+    out: Option<&std::path::Path>,
+    name: &str,
+    records: &[T],
+) {
+    write_records(out, name, records).unwrap_or_else(|e| {
+        eprintln!("failed to write {name} records: {e}");
+        std::process::exit(1);
+    });
 }
 
 const SUITE_SEED: u64 = 20260706;
@@ -109,6 +145,8 @@ fn main() {
         }
         "partition" => run_partition(&opts),
         "verify" => run_verify(&opts),
+        "check" => run_check(&opts),
+        "fuzz" => run_fuzz(&opts),
         "trace-check" => run_trace_check(&opts),
         "bench-check" => run_bench_check(&opts),
         other => {
@@ -130,7 +168,7 @@ fn run_table1(scale: Scale, out: Option<&std::path::Path>) {
         scale.denominator
     );
     println!("{}", table1_text(&rows));
-    write_records(out, "table1", &rows).expect("write records");
+    write_out(out, "table1", &rows);
 }
 
 fn run_figures(which: &str, scale: Scale, opts: &Opts, out: Option<&std::path::Path>) {
@@ -168,7 +206,7 @@ fn run_figures(which: &str, scale: Scale, opts: &Opts, out: Option<&std::path::P
         println!("{}", figure_text(&rows, p));
         println!("{}", figure_bars(&rows, p));
     }
-    write_records(out, "figures", &rows).expect("write records");
+    write_out(out, "figures", &rows);
 }
 
 fn run_table2(scale: Scale, out: Option<&std::path::Path>) {
@@ -181,7 +219,7 @@ fn run_table2(scale: Scale, out: Option<&std::path::Path>) {
     let rows = table2(&suite[0].graph, &ks, 1001);
     println!("\nTable 2. Serial and parallel run times (modeled seconds), 3-constraint, mrng1.");
     println!("{}", table2_text(&rows));
-    write_records(out, "table2", &rows).expect("write records");
+    write_out(out, "table2", &rows);
 }
 
 fn run_table3(scale: Scale, out: Option<&std::path::Path>) {
@@ -216,8 +254,8 @@ fn run_table3(scale: Scale, out: Option<&std::path::Path>) {
             );
         }
     }
-    write_records(out, "table3", &cells).expect("write records");
-    write_records(out, "table3_iso", &iso).expect("write records");
+    write_out(out, "table3", &cells);
+    write_out(out, "table3_iso", &iso);
 }
 
 fn run_table4(scale: Scale, out: Option<&std::path::Path>) {
@@ -231,7 +269,7 @@ fn run_table4(scale: Scale, out: Option<&std::path::Path>) {
         "\nTable 4. Parallel run times (modeled seconds) of the single-constraint partitioner."
     );
     println!("{}", scaling_text(&cells, &procs, false));
-    write_records(out, "table4", &cells).expect("write records");
+    write_out(out, "table4", &cells);
 }
 
 fn run_ablation_slices(scale: Scale, opts: &Opts, out: Option<&std::path::Path>) {
@@ -251,7 +289,7 @@ fn run_ablation_slices(scale: Scale, opts: &Opts, out: Option<&std::path::Path>)
     );
     println!("\nAblation A1. Slice-allocation vs reservation refinement (cut / serial cut).");
     println!("{}", slice_ablation_text(&rows));
-    write_records(out, "ablation_slices", &rows).expect("write records");
+    write_out(out, "ablation_slices", &rows);
 }
 
 fn run_ablation_imbalance(scale: Scale, out: Option<&std::path::Path>) {
@@ -261,7 +299,7 @@ fn run_ablation_imbalance(scale: Scale, out: Option<&std::path::Path>) {
     let rows = imbalance_recovery(&suite[0].graph, 16, 16, &injections, 1001);
     println!("\nAblation A2. Injected initial imbalance vs what refinement recovers (k = p = 16).");
     println!("{}", imbalance_text(&rows));
-    write_records(out, "ablation_imbalance", &rows).expect("write records");
+    write_out(out, "ablation_imbalance", &rows);
 }
 
 fn run_ablation_constraints(scale: Scale, out: Option<&std::path::Path>) {
@@ -270,7 +308,7 @@ fn run_ablation_constraints(scale: Scale, out: Option<&std::path::Path>) {
     let rows = constraint_sweep(&suite[0].graph, 32, 8, 1001);
     println!("\nAblation A3. Serial quality vs number of constraints (Type-1, k = 32).");
     println!("{}", constraint_text(&rows));
-    write_records(out, "ablation_constraints", &rows).expect("write records");
+    write_out(out, "ablation_constraints", &rows);
 }
 
 /// Loads a graph from a METIS file or a `gen:` pseudo-file
@@ -326,26 +364,19 @@ fn run_partition(opts: &Opts) {
     let mut it = opts.rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--parallel" => {
-                parallel = Some(it.next().expect(usage).parse::<usize>().expect("integer"))
-            }
-            "--seed" => seed = it.next().expect(usage).parse().expect("integer"),
-            "--tol" => tol = it.next().expect(usage).parse().expect("float"),
-            "--outfile" => outfile = Some(it.next().expect(usage).to_string()),
-            "--trace" => trace_file = Some(it.next().expect(usage).to_string()),
+            "--parallel" => parallel = Some(parse_value(flag_value(&mut it, a, usage), a)),
+            "--seed" => seed = parse_value(flag_value(&mut it, a, usage), a),
+            "--tol" => tol = parse_value(flag_value(&mut it, a, usage), a),
+            "--outfile" => outfile = Some(flag_value(&mut it, a, usage).to_string()),
+            "--trace" => trace_file = Some(flag_value(&mut it, a, usage).to_string()),
             "--trace-format" => {
-                let name = it.next().expect(usage);
-                trace_format = mcgp_runtime::trace::TraceFormat::parse(name).unwrap_or_else(|| {
-                    eprintln!("unknown trace format `{name}` (jsonl|chrome)");
-                    std::process::exit(2);
-                })
+                let name = flag_value(&mut it, a, usage);
+                trace_format = mcgp_runtime::trace::TraceFormat::parse(name)
+                    .unwrap_or_else(|| die(format!("unknown trace format `{name}` (jsonl|chrome)")))
             }
             other if file.is_none() => file = Some(other.to_string()),
-            other if k.is_none() => k = Some(other.parse::<usize>().expect("k must be integer")),
-            other => {
-                eprintln!("unexpected argument `{other}`\n{usage}");
-                std::process::exit(2);
-            }
+            other if k.is_none() => k = Some(parse_value(other, "part count <k>")),
+            other => die(format!("unexpected argument `{other}`\n{usage}")),
         }
     }
     let (Some(file), Some(k)) = (file, k) else {
@@ -403,8 +434,13 @@ fn run_partition(opts: &Opts) {
         eprintln!("metrics: {m}");
     }
     let outfile = outfile.unwrap_or_else(|| format!("{}.part.{k}", file.replace(':', "_")));
-    let f = std::fs::File::create(&outfile).expect("create output file");
-    mcgp_graph::io::write_partition(&assignment, f).expect("write partition");
+    std::fs::File::create(&outfile)
+        .map_err(mcgp_graph::McgpError::Io)
+        .and_then(|f| mcgp_graph::io::write_partition(&assignment, f))
+        .unwrap_or_else(|e| {
+            eprintln!("failed to write {outfile}: {e}");
+            std::process::exit(1);
+        });
     eprintln!("wrote {outfile}");
 }
 
@@ -527,7 +563,111 @@ fn run_adaptive(scale: Scale, out: Option<&std::path::Path>) {
     let rows = adaptive_comparison(&suite[0].graph, 16, 6, 1001);
     println!("\nExtension E1. Adaptive repartitioning: scratch-remap vs refinement (k = 16).");
     println!("{}", adaptive_text(&rows));
-    write_records(out, "adaptive", &rows).expect("write records");
+    write_out(out, "adaptive", &rows);
+}
+
+/// `mcgp check`: validates a graph file — and optionally a partition of it —
+/// against the named invariant catalogue. Typed diagnostics, exit 1 on any
+/// violation, exit 2 on usage errors; never panics on bad input.
+fn run_check(opts: &Opts) {
+    let usage =
+        "usage: mcgp check <file.graph|gen:...> [<file.part> <k>] [--tol <t>] [--level cheap|full]";
+    let mut gfile = None;
+    let mut pfile = None;
+    let mut k: Option<usize> = None;
+    let mut tol = 0.05f64;
+    let mut level = mcgp_graph::CheckLevel::Full;
+    let mut it = opts.rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tol" => tol = parse_value(flag_value(&mut it, a, usage), a),
+            "--level" => {
+                let name = flag_value(&mut it, a, usage);
+                level = mcgp_graph::CheckLevel::parse(name)
+                    .filter(|l| l.enabled())
+                    .unwrap_or_else(|| die(format!("unknown check level `{name}` (cheap|full)")));
+            }
+            other if gfile.is_none() => gfile = Some(other.to_string()),
+            other if pfile.is_none() => pfile = Some(other.to_string()),
+            other if k.is_none() => k = Some(parse_value(other, "part count <k>")),
+            other => die(format!("unexpected argument `{other}`\n{usage}")),
+        }
+    }
+    let Some(gfile) = gfile else { die(usage) };
+    let graph = load_graph(&gfile, 4242);
+    if let Err(e) = mcgp_check::check_graph(&graph, level) {
+        eprintln!("{gfile}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "{gfile}: graph ok ({} vertices, {} edges, {} constraint(s), level {level:?})",
+        graph.nvtxs(),
+        graph.nedges(),
+        graph.ncon()
+    );
+    let Some(pfile) = pfile else { return };
+    let Some(k) = k else {
+        die(format!("`mcgp check` needs <k> alongside <file.part>\n{usage}"))
+    };
+    let assignment = std::fs::File::open(&pfile)
+        .map_err(mcgp_graph::McgpError::Io)
+        .and_then(|f| mcgp_graph::io::read_partition_bounded(f, k))
+        .unwrap_or_else(|e| {
+            eprintln!("{pfile}: {e}");
+            std::process::exit(1);
+        });
+    if let Err(e) = mcgp_check::check_partition(&graph, &assignment, k, tol, level) {
+        eprintln!("{pfile}: {e}");
+        std::process::exit(1);
+    }
+    let part = mcgp_graph::Partition::new(k, assignment).unwrap_or_else(|e| {
+        eprintln!("{pfile}: {e}");
+        std::process::exit(1);
+    });
+    let q = mcgp_graph::PartitionQuality::measure(&graph, &part);
+    println!(
+        "{pfile}: partition ok (k {k}, edge-cut {}, max-imbalance {:.4}, tol {tol})",
+        q.edge_cut, q.max_imbalance
+    );
+}
+
+/// `mcgp fuzz`: the structure-aware input fuzzer as a CLI smoke. Exit 1 if
+/// any reader panic escapes; the seed/mutation of every escape is printed
+/// for replay.
+fn run_fuzz(opts: &Opts) {
+    let usage = "usage: mcgp fuzz [--seed <s>] [--cases <n>]";
+    let mut seed = 0xF0CCu64;
+    let mut cases = 200usize;
+    let mut it = opts.rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = parse_value(flag_value(&mut it, a, usage), a),
+            "--cases" => cases = parse_value(flag_value(&mut it, a, usage), a),
+            other => die(format!("unexpected argument `{other}`\n{usage}")),
+        }
+    }
+    // Silence the default per-panic backtrace spew while the fuzzer probes;
+    // escaped panics are reported below with replay seeds.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = mcgp_check::fuzz::fuzz_run(seed, cases);
+    std::panic::set_hook(prev);
+    println!(
+        "fuzz seed {seed}: {} cases — {} accepted, {} rejected, {} panic(s)",
+        report.cases,
+        report.accepted,
+        report.rejected,
+        report.panics.len()
+    );
+    if !report.clean() {
+        for c in &report.panics {
+            eprintln!(
+                "PANIC: replay with `mcgp fuzz --seed {} --cases 1` (mutation: {}): {}",
+                c.seed, c.mutation, c.detail
+            );
+        }
+        std::process::exit(1);
+    }
 }
 
 fn run_verify(opts: &Opts) {

@@ -306,3 +306,112 @@ fn bench_check_accepts_good_and_rejects_drifted_records() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no bench records"));
 }
+
+#[test]
+fn check_accepts_known_good_graph_and_partition_pair() {
+    let dir = std::env::temp_dir().join("mcgp_cli_check_good");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpath = dir.join("g.graph");
+    let ppath = dir.join("g.part");
+    let mesh = mcgp_graph::generators::grid_2d(12, 12);
+    let wg = mcgp_graph::synthetic::type1(&mesh, 2, 7);
+    mcgp_graph::io::write_metis_file(&wg, &gpath).unwrap();
+    let r = mcgp_core::partition_kway(&wg, 4, &mcgp_core::PartitionConfig::default());
+    mcgp_graph::io::write_partition(
+        r.partition.assignment(),
+        std::fs::File::create(&ppath).unwrap(),
+    )
+    .unwrap();
+    let out = mcgp()
+        .args([
+            "check",
+            gpath.to_str().unwrap(),
+            ppath.to_str().unwrap(),
+            "4",
+            "--tol",
+            "0.25",
+        ])
+        .output()
+        .expect("run mcgp check");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("graph ok"), "{stdout}");
+    assert!(stdout.contains("partition ok"), "{stdout}");
+}
+
+#[test]
+fn check_rejects_every_malformed_corpus_entry_without_panicking() {
+    let dir = std::env::temp_dir().join("mcgp_cli_check_corpus");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (i, &(name, text, _expected)) in mcgp_check::corpus::MALFORMED_GRAPHS.iter().enumerate() {
+        let gpath = dir.join(format!("bad{i}.graph"));
+        std::fs::write(&gpath, text).unwrap();
+        let out = mcgp()
+            .args(["check", gpath.to_str().unwrap()])
+            .output()
+            .expect("run mcgp check");
+        assert!(
+            !out.status.success(),
+            "corpus `{name}` was accepted by `mcgp check`"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        // A readable one-line diagnostic, not a crash.
+        assert!(!stderr.trim().is_empty(), "corpus `{name}`: empty stderr");
+        assert!(
+            !stderr.contains("panicked"),
+            "corpus `{name}` panicked:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn check_rejects_corrupt_partition_with_line_context() {
+    let dir = std::env::temp_dir().join("mcgp_cli_check_badpart");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gpath = dir.join("g.graph");
+    let ppath = dir.join("g.part");
+    mcgp_graph::io::write_metis_file(&mcgp_graph::generators::grid_2d(4, 4), &gpath).unwrap();
+    // Vertex 6's id is >= k: the diagnostic must name line 6.
+    std::fs::write(&ppath, "0\n1\n0\n1\n0\n9\n0\n1\n0\n1\n0\n1\n0\n1\n0\n1\n").unwrap();
+    let out = mcgp()
+        .args(["check", gpath.to_str().unwrap(), ppath.to_str().unwrap(), "2"])
+        .output()
+        .expect("run mcgp check");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 6"), "{stderr}");
+    assert!(stderr.contains("out of range"), "{stderr}");
+}
+
+#[test]
+fn check_usage_errors_exit_2() {
+    let out = mcgp().arg("check").output().expect("run mcgp check");
+    assert_eq!(out.status.code(), Some(2));
+    let out = mcgp()
+        .args(["check", "gen:grid:4x4", "--level", "bogus"])
+        .output()
+        .expect("run mcgp check");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown check level"));
+}
+
+#[test]
+fn fuzz_smoke_is_clean_and_deterministic() {
+    let run = |args: &[&str]| {
+        let out = mcgp().args(args).output().expect("run mcgp fuzz");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let a = run(&["fuzz", "--seed", "7", "--cases", "60"]);
+    let b = run(&["fuzz", "--seed", "7", "--cases", "60"]);
+    assert_eq!(a, b, "fuzz run is not deterministic");
+    assert!(a.contains("0 panic(s)"), "{a}");
+}

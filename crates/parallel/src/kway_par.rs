@@ -9,7 +9,8 @@ use crate::refine_par::{parallel_balance, reservation_refine, ParRefineStats};
 use crate::slice_refine::slice_refine;
 use mcgp_core::balance::BalanceModel;
 use mcgp_core::config::PartitionConfig;
-use mcgp_graph::{Graph, Partition, PartitionQuality};
+use mcgp_graph::check as gcheck;
+use mcgp_graph::{CheckLevel, Graph, McgpError, Partition, PartitionQuality};
 
 /// Which parallel refinement scheme to run during uncoarsening.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +56,12 @@ pub struct ParallelConfig {
     /// move conflicts and the reservation scheme disallows nearly
     /// everything. Set to 0 to disable.
     pub fold_threshold: usize,
+    /// Invariant validation at every pipeline seam, mirroring
+    /// `PartitionConfig::check` in the serial driver. `Full` additionally
+    /// gathers each coarse distributed graph and validates its CSR
+    /// structure (symmetry included) — expensive, intended for the
+    /// differential harness and debugging.
+    pub check: CheckLevel,
 }
 
 impl ParallelConfig {
@@ -70,6 +77,7 @@ impl ParallelConfig {
             cost: CostModel::default(),
             init_runs_executed: 4,
             fold_threshold: 256,
+            check: CheckLevel::for_build(),
         }
     }
 
@@ -95,6 +103,60 @@ pub struct ParallelResult {
     pub refine: ParRefineStats,
     /// BSP cost accounting and modeled times.
     pub stats: RunStats,
+}
+
+/// Aborts on a seam-invariant violation: like the serial driver, a failed
+/// internal invariant is a partitioner bug and fails loudly with the
+/// catalogued invariant name.
+fn enforce(result: mcgp_graph::Result<()>) {
+    if let Err(e) = result {
+        panic!("mcgp-check: {e}");
+    }
+}
+
+/// Validates a global assignment over a distributed graph: one entry per
+/// global vertex, every entry `< nparts`.
+fn check_dist_assignment(dist: &DistGraph, part: &[u32], nparts: usize) -> mcgp_graph::Result<()> {
+    if part.len() != dist.nvtxs() {
+        return Err(McgpError::invariant(
+            "partition/length",
+            format!(
+                "assignment has {} entries for a distributed graph of {} vertices",
+                part.len(),
+                dist.nvtxs()
+            ),
+        ));
+    }
+    if let Some((v, &p)) = part.iter().enumerate().find(|(_, &p)| p as usize >= nparts) {
+        return Err(McgpError::invariant(
+            "partition/range",
+            format!("vertex {v} assigned to part {p} >= nparts {nparts}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Validates the contraction seam between two distributed levels: conserved
+/// per-constraint weight totals and an in-range projection map.
+fn check_dist_contraction(
+    fine: &DistGraph,
+    coarse: &DistGraph,
+    cmap: &[u32],
+) -> mcgp_graph::Result<()> {
+    if coarse.ncon() != fine.ncon() {
+        return Err(McgpError::invariant(
+            "coarsen/ncon",
+            format!("fine ncon {} != coarse ncon {}", fine.ncon(), coarse.ncon()),
+        ));
+    }
+    let (ft, ct) = (fine.total_vwgt(), coarse.total_vwgt());
+    if ft != ct {
+        return Err(McgpError::invariant(
+            "coarsen/weight-conservation",
+            format!("fine totals {ft:?} != coarse totals {ct:?}"),
+        ));
+    }
+    gcheck::check_projection(cmap, fine.nvtxs(), coarse.nvtxs())
 }
 
 /// Computes the global `nparts × ncon` subdomain weights with one local scan
@@ -193,6 +255,15 @@ pub fn parallel_partition_kway(
                 level.graph = DistGraph::distribute(&gathered, new_p);
             }
         }
+        // Seam: post-coarsen. Contraction (and folding, which only moves
+        // ownership) must conserve weight totals and keep the cmap in
+        // range; Full additionally gathers and validates the CSR itself.
+        if cfg.check.enabled() {
+            enforce(check_dist_contraction(cur, &level.graph, &level.cmap));
+            if cfg.check >= CheckLevel::Full {
+                enforce(gcheck::check_graph(&level.graph.gather(), cfg.check));
+            }
+        }
         levels.push(level);
     });
     let coarsen_levels = levels.len();
@@ -208,6 +279,13 @@ pub fn parallel_partition_kway(
             &mut tracker,
         )
     });
+
+    // Seam: post-initial. The replicated initial partitioning must emit an
+    // in-range assignment covering every subdomain.
+    if cfg.check.enabled() {
+        enforce(check_dist_assignment(coarsest, &part, nparts));
+        enforce(gcheck::check_no_empty_parts(&part, nparts));
+    }
 
     // --- Uncoarsening with parallel multi-constraint refinement ----------
     let mut refine_stats = ParRefineStats::default();
@@ -257,6 +335,11 @@ pub fn parallel_partition_kway(
             refine_stats.committed += s.committed;
             refine_stats.disallowed += s.disallowed;
             refine_stats.balance_moves += bal_moves;
+            // Seam: post-refine. Balancing and reservation/slice commits
+            // must keep the global assignment well-formed.
+            if cfg.check.enabled() {
+                enforce(check_dist_assignment(dist, part, nparts));
+            }
             if mcgp_runtime::trace::enabled() {
                 let mut cut2 = 0i64; // every cut edge counted from both sides
                 for q in 0..dist.nprocs() {
@@ -337,6 +420,11 @@ pub fn parallel_partition_kway(
             }
             tracker.superstep(&comp, &bytes);
             part = fine_part;
+            // Seam: post-project. Every fine vertex inherited its coarse
+            // vertex's part, so length and range must hold before refining.
+            if cfg.check.enabled() {
+                enforce(check_dist_assignment(finer, &part, nparts));
+            }
             refine_level(lvl, finer, &mut part, seed ^ ((lvl as u64) << 16), &mut tracker);
         }
     });
@@ -366,6 +454,12 @@ pub fn parallel_partition_kway(
     });
 
     // --- Measure ----------------------------------------------------------
+    // Seam: final. The finished assignment must be a valid k-way partition
+    // of the *input* graph with no empty subdomain.
+    if cfg.check.enabled() {
+        enforce(gcheck::check_assignment(graph, &part, nparts));
+        enforce(gcheck::check_no_empty_parts(&part, nparts));
+    }
     let partition =
         Partition::new(nparts, part).expect("parallel partitioner produced invalid assignment");
     let quality = PartitionQuality::measure(graph, &partition);

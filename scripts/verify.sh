@@ -30,4 +30,25 @@ cargo bench --offline -p mcgp-bench --bench refine_boundary -- \
     --samples 3 smoke > "$TRACE_DIR/bench_smoke.json"
 test -s "$TRACE_DIR/bench_smoke.json"
 ./target/release/mcgp bench-check "$TRACE_DIR/bench_smoke.json"
+
+# Correctness smoke tests (see DESIGN.md, "Validation & differential
+# testing"). The `checked` profile is release + debug-assertions, so the
+# full differential acceptance grid runs at release speed with every
+# CheckLevel seam validator live.
+MCGP_DIFF_FULL=1 MCGP_CHECK=full \
+    cargo test -q --offline --profile checked -p mcgp-check
+# Structure-aware fuzz smoke with a fixed seed budget: the METIS readers
+# must reject corrupted inputs with typed errors, never panic.
+./target/release/mcgp fuzz --seed 3405691582 --cases 400
+# `mcgp check` end-to-end: a known-good (graph, partition) pair validates,
+# a corrupted partition is rejected with a diagnostic and non-zero exit.
+./target/release/mcgp partition gen:mrng:2000:3 8 \
+    --outfile "$TRACE_DIR/smoke3.part" > /dev/null
+./target/release/mcgp check gen:mrng:2000:3 "$TRACE_DIR/smoke3.part" 8 --tol 0.25
+sed '1s/.*/9999/' "$TRACE_DIR/smoke3.part" > "$TRACE_DIR/smoke3.bad.part"
+if ./target/release/mcgp check gen:mrng:2000:3 "$TRACE_DIR/smoke3.bad.part" 8 \
+    > /dev/null 2>&1; then
+    echo "verify: mcgp check accepted a corrupted partition" >&2
+    exit 1
+fi
 echo "verify: OK"

@@ -1,0 +1,89 @@
+//! Coarsening-engine benchmarks: the shared-memory matching and
+//! contraction kernels against their serial counterparts on the acceptance
+//! workload (`mrng_like(200_000)`, ncon 1 and 3) at 1/2/8 stripes.
+//!
+//! * `coarsen/match` — one matching pass in isolation (`match_graph` at
+//!   t = 1, `match_smp` above).
+//! * `coarsen/contract` — one contraction in isolation on a fixed serial
+//!   matching (`contract_with_scratch` at t = 1, `contract_smp` above),
+//!   scratch reused across samples as the level loop does.
+//! * `coarsen/hierarchy` — the full `coarsen()` hierarchy down to the
+//!   k = 16 target, the end-to-end number `scripts/bench.sh` records in
+//!   `BENCH_coarsen.json`.
+//! * `coarsen/smoke` — a small fast workload for the `verify.sh` bench
+//!   smoke (`--samples 3 smoke`).
+//!
+//! Stripe counts above `MCGP_THREADS`/`available_parallelism` still run
+//! (striping is a determinism parameter, not a thread count), so the t = 2
+//! and t = 8 records are honest on any machine — on a single-core host
+//! they measure the striped kernels' overhead, not a speedup.
+
+use mcgp_bench::Bench;
+use mcgp_core::coarsen::{coarsen, contract_with_scratch, ContractionScratch};
+use mcgp_core::coarsen_smp::{contract_smp, match_smp, SmpCoarsenScratch};
+use mcgp_core::config::MatchingScheme;
+use mcgp_core::matching::match_graph;
+use mcgp_core::PartitionConfig;
+use mcgp_graph::generators::mrng_like;
+use mcgp_graph::synthetic;
+use mcgp_graph::Graph;
+use mcgp_runtime::rng::Rng;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn bench_graph(b: &Bench, g: &Graph, tag: &str) {
+    let scheme = MatchingScheme::BalancedHeavyEdge;
+
+    for t in THREADS {
+        b.run("coarsen/match", &format!("{tag}_t{t}"), || {
+            if t == 1 {
+                let mut rng = Rng::seed_from_u64(7);
+                match_graph(g, scheme, &mut rng)
+            } else {
+                match_smp(g, scheme, t, 7)
+            }
+        });
+    }
+
+    let m = match_graph(g, scheme, &mut Rng::seed_from_u64(7));
+    let mut serial_scratch = ContractionScratch::new();
+    let mut smp_scratch = SmpCoarsenScratch::new();
+    for t in THREADS {
+        b.run("coarsen/contract", &format!("{tag}_t{t}"), || {
+            if t == 1 {
+                contract_with_scratch(g, &m, &mut serial_scratch)
+            } else {
+                contract_smp(g, &m, t, &mut smp_scratch)
+            }
+        });
+    }
+
+    let target = PartitionConfig::default().coarsen_target(16);
+    for t in THREADS {
+        let cfg = PartitionConfig::default().with_threads(t);
+        b.run("coarsen/hierarchy", &format!("{tag}_t{t}"), || {
+            let mut rng = Rng::seed_from_u64(7);
+            coarsen(g, target, &cfg, &mut rng)
+        });
+    }
+}
+
+fn main() {
+    let b = Bench::from_args();
+
+    let base = mrng_like(200_000, 1);
+    bench_graph(&b, &base, "mrng200k_ncon1");
+    let g3 = synthetic::type1(&base, 3, 1);
+    bench_graph(&b, &g3, "mrng200k_ncon3");
+
+    // Small, fast workload for CI smoke runs (filter: `smoke`).
+    let sg = synthetic::type1(&mrng_like(5_000, 2), 3, 2);
+    let starget = PartitionConfig::default().coarsen_target(8);
+    for t in [1usize, 4] {
+        let cfg = PartitionConfig::default().with_threads(t);
+        b.run("coarsen/smoke", &format!("mrng5k_ncon3_t{t}"), || {
+            let mut rng = Rng::seed_from_u64(2);
+            coarsen(&sg, starget, &cfg, &mut rng)
+        });
+    }
+}

@@ -3,8 +3,10 @@
 //! The Euro-Par 2000 parallel formulation is *supposed* to approximate the
 //! serial SC'98 algorithm: same multilevel structure, coarser-grained
 //! refinement. This module makes that claim executable. For every cell of a
-//! seeded sweep (weight type × ncon × k × p) it runs both drivers with full
-//! seam validation enabled and checks, against documented envelopes, that
+//! seeded sweep (weight type × ncon × k × p, the serial driver's
+//! shared-memory coarsener running at `p` stripes so the envelopes also
+//! cover parallel coarsening) it runs both drivers with full seam
+//! validation enabled and checks, against documented envelopes, that
 //!
 //! 1. both partitions are structurally valid (in-range, every subdomain
 //!    populated) — hard failures;
@@ -73,6 +75,10 @@ pub struct DiffRecord {
     pub ncon: usize,
     pub nparts: usize,
     pub nprocs: usize,
+    /// Stripe count of the serial driver's shared-memory coarsener for
+    /// this cell (same value as `nprocs`, recorded explicitly so the JSONL
+    /// is self-describing).
+    pub serial_threads: usize,
     pub seed: u64,
     pub serial_cut: i64,
     pub parallel_cut: i64,
@@ -88,6 +94,7 @@ mcgp_runtime::impl_to_json!(DiffRecord {
     ncon,
     nparts,
     nprocs,
+    serial_threads,
     seed,
     serial_cut,
     parallel_cut,
@@ -164,8 +171,12 @@ pub fn differential_case(
     seed: u64,
     env: &Envelope,
 ) -> DiffRecord {
+    // The serial driver runs its shared-memory coarsening engine at
+    // `nprocs` stripes, so every cell of the grid also covers parallel
+    // coarsening (threads 1/2/8 on the default grids) under the same
+    // envelopes.
     let serial_cfg = {
-        let mut c = PartitionConfig::default().with_seed(seed);
+        let mut c = PartitionConfig::default().with_seed(seed).with_threads(nprocs);
         c.check = CheckLevel::Full;
         c
     };
@@ -241,6 +252,7 @@ pub fn differential_case(
         ncon: graph.ncon(),
         nparts,
         nprocs,
+        serial_threads: nprocs,
         seed,
         serial_cut: sc,
         parallel_cut: pc,

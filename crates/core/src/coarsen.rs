@@ -6,10 +6,11 @@
 //! vertex weight per constraint is invariant across levels — which is what
 //! keeps one balance model meaningful through the whole hierarchy.
 
+use crate::coarsen_smp::{contract_smp, match_smp, SmpCoarsenScratch, SMP_MIN_NVTXS};
 use crate::config::PartitionConfig;
 use crate::matching::{match_graph, GraphMatching};
 use mcgp_graph::csr::Vertex;
-use mcgp_graph::Graph;
+use mcgp_graph::{CheckLevel, Graph};
 use mcgp_runtime::phase::{counter_add, Counter};
 use mcgp_runtime::rng::Rng;
 use mcgp_runtime::span;
@@ -66,15 +67,38 @@ const NONE: u32 = u32::MAX;
 /// marker table. Invariant between calls: every entry is `NONE` (each
 /// contraction resets exactly the entries it set), so reuse across levels
 /// skips the per-level `O(coarse_nvtxs)` allocation + clear.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ContractionScratch {
     pos: Vec<u32>,
+    /// Validation level for the scratch-cleanliness scan. The scan is
+    /// `O(coarse_nvtxs)` *per level*, which made debug-profile coarsening
+    /// quadratic across a hierarchy — so it only runs at
+    /// [`CheckLevel::Full`].
+    check: CheckLevel,
+}
+
+impl Default for ContractionScratch {
+    fn default() -> Self {
+        ContractionScratch {
+            pos: Vec::new(),
+            check: CheckLevel::for_build(),
+        }
+    }
 }
 
 impl ContractionScratch {
     /// An empty scratch; grows on first use.
     pub fn new() -> Self {
         ContractionScratch::default()
+    }
+
+    /// An empty scratch validating at `check` (level loops pass the
+    /// config's level through so `MCGP_CHECK=full` reaches the scan).
+    pub fn with_check(check: CheckLevel) -> Self {
+        ContractionScratch {
+            pos: Vec::new(),
+            check,
+        }
     }
 }
 
@@ -113,14 +137,23 @@ pub fn contract_with_scratch(
 
     let mut xadj = Vec::with_capacity(cn + 1);
     xadj.push(0usize);
-    let mut adjncy: Vec<Vertex> = Vec::new();
-    let mut adjwgt: Vec<i64> = Vec::new();
+    // The summed fine degrees upper-bound the coarse adjacency exactly
+    // (contraction only merges or drops edges), so one reservation up
+    // front replaces the doubling growth from empty.
+    let mut adjncy: Vec<Vertex> = Vec::with_capacity(graph.adjacency_len());
+    let mut adjwgt: Vec<i64> = Vec::with_capacity(graph.adjacency_len());
     let mut vwgt = vec![0i64; cn * ncon];
     // pos[coarse_nbr] = index into adjncy for the current coarse vertex.
     if scratch.pos.len() < cn {
         scratch.pos.resize(cn, NONE);
     }
-    debug_assert!(scratch.pos.iter().all(|&p| p == NONE));
+    // O(cn) cleanliness scan per level: Full-only by design.
+    if scratch.check >= CheckLevel::Full {
+        assert!(
+            scratch.pos.iter().all(|&p| p == NONE),
+            "invariant contraction_scratch_clean violated: reused scratch has live entries"
+        );
+    }
     let pos: &mut Vec<u32> = &mut scratch.pos;
 
     for (c, &(v, u)) in rep.iter().enumerate() {
@@ -173,20 +206,32 @@ pub fn coarsen(
 ) -> CoarsenHierarchy {
     const MAX_LEVELS: usize = 64;
     let mut levels: Vec<CoarseLevel> = Vec::new();
-    let mut scratch = ContractionScratch::new();
+    let mut scratch = ContractionScratch::with_check(config.check);
+    let mut smp_scratch = SmpCoarsenScratch::new();
     loop {
         let lvl = levels.len();
         let cur = levels.last().map_or(graph, |l| &l.graph);
         if cur.nvtxs() <= target || lvl >= MAX_LEVELS {
             break;
         }
+        // Shared-memory engine above the size floor; small levels drop to
+        // the serial path (the constant floor keeps `(seed, nthreads)`
+        // determinism independent of the machine).
+        let use_smp = config.nthreads > 1 && cur.nvtxs() >= SMP_MIN_NVTXS;
         let mut sp = span!(
             "coarsen_level",
             level = lvl,
             nvtxs = cur.nvtxs(),
             nedges = cur.nedges(),
+            smp_threads = if use_smp { config.nthreads } else { 1 },
         );
-        let matching = match_graph(cur, config.matching, rng);
+        let matching = if use_smp {
+            // One RNG draw per level keeps the serial stream advancing
+            // identically whether or not a level aborts afterwards.
+            match_smp(cur, config.matching, config.nthreads, rng.next_u64())
+        } else {
+            match_graph(cur, config.matching, rng)
+        };
         // Stall: a level that barely shrinks isn't worth its cost.
         if matching.coarse_nvtxs as f64 > 0.95 * cur.nvtxs() as f64 {
             counter_add(Counter::ContractionAborts, 1);
@@ -197,7 +242,11 @@ pub fn coarsen(
             Counter::VerticesMatched,
             2 * (cur.nvtxs() - matching.coarse_nvtxs) as u64,
         );
-        let (coarse, cmap) = contract_with_scratch(cur, &matching, &mut scratch);
+        let (coarse, cmap) = if use_smp {
+            contract_smp(cur, &matching, config.nthreads, &mut smp_scratch)
+        } else {
+            contract_with_scratch(cur, &matching, &mut scratch)
+        };
         sp.record("coarse_nvtxs", coarse.nvtxs());
         sp.record("coarse_nedges", coarse.nedges());
         sp.record("ratio", coarse.nvtxs() as f64 / cur.nvtxs() as f64);

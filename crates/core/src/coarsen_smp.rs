@@ -1,0 +1,658 @@
+//! Shared-memory parallel coarsening: conflict-arbitrated matching and a
+//! two-pass contraction kernel.
+//!
+//! This is the Euro-Par 2000 proposal/arbitration matching protocol
+//! (distributed-style in `mcgp-parallel::match_par`) rebuilt as a
+//! shared-memory kernel on the `mcgp-runtime` pool. Vertices are striped
+//! across `nthreads` workers; a fixed number of supersteps alternate vertex
+//! parity — proposers of parity `round % 2` pick their best unmatched
+//! opposite-parity neighbour, and an arbitration superstep grants exactly
+//! one proposal per target under the shared rule of
+//! [`crate::matching::grant_beats`] (heaviest edge, flattest combined
+//! weight vector, **lowest proposer id** — the paper's deterministic
+//! conflict tie-break). Parity makes proposer and target sets disjoint, so
+//! every grant of a round commits without further conflict checks. A final
+//! serial [`greedy_match_pass`] over the unmatched tail keeps coarsening
+//! ratios close to serial heavy-edge matching.
+//!
+//! Contraction is two passes over striped coarse vertices: pass one
+//! computes per-coarse-vertex degree upper bounds and prefix-sums them into
+//! provisional CSR row offsets; pass two fills rows in parallel using
+//! per-worker *timestamped* marker tables (generation counters replace the
+//! reset-to-`NONE` walk of [`crate::coarsen::ContractionScratch`], so a
+//! worker never rescans what it wrote), followed by a parallel compaction
+//! of the over-allocated rows into the final CSR.
+//!
+//! **Determinism contract.** The output — matching, coarse ids, and the
+//! exact CSR edge order — depends only on `(graph, scheme, seed, nthreads)`.
+//! The stripe count `nthreads` shapes the result; the number of OS threads
+//! the pool actually uses (`MCGP_THREADS`, `available_parallelism`) never
+//! does, because every worker writes to its own stripe and merges happen in
+//! stripe order. For a fixed matching, [`contract_smp`] reproduces the
+//! serial [`crate::coarsen::contract`] CSR **bit for bit**: coarse ids are
+//! assigned in fine-vertex order of the lower pair endpoint and rows are
+//! filled in the same first-seen neighbour order.
+
+use crate::config::MatchingScheme;
+use crate::matching::{
+    combined_spread, grant_beats, greedy_match_pass, inv_totals, GraphMatching,
+};
+use mcgp_graph::csr::Vertex;
+use mcgp_graph::Graph;
+use mcgp_runtime::phase::{counter_add, Counter};
+use mcgp_runtime::pool::{self, exclusive_prefix_sum, stripe_bounds, zip_map};
+use mcgp_runtime::rng::{Rng, SliceRandom};
+use mcgp_runtime::event;
+
+/// Proposal/arbitration supersteps before the serial cleanup tail. Two per
+/// parity: the second chance lets vertices whose first target was granted
+/// away re-propose, which empirically leaves a tail small enough that the
+/// serial pass stays a minor fraction of the matching work.
+const ROUNDS: usize = 4;
+
+/// Below this many vertices the striped supersteps cost more than they
+/// save; [`crate::coarsen::coarsen`] drops to the serial path. Gating on a
+/// fixed constant keeps the `(seed, nthreads)` determinism contract intact
+/// — and the constant is low enough that the differential-sweep graphs
+/// (~1–2k vertices) genuinely exercise the parallel engine.
+pub const SMP_MIN_NVTXS: usize = 600;
+
+/// One matching proposal: `proposer` (parity `round % 2`) asks to collapse
+/// its edge to `target` (opposite parity).
+struct Proposal {
+    target: u32,
+    proposer: u32,
+    edge_w: i64,
+}
+
+/// Parallel balanced-heavy-edge matching over `nthreads` vertex stripes.
+/// Deterministic for a fixed `(graph, scheme, seed, nthreads)`; valid by
+/// construction (involution, matched pairs adjacent).
+pub fn match_smp(
+    graph: &Graph,
+    scheme: MatchingScheme,
+    nthreads: usize,
+    seed: u64,
+) -> GraphMatching {
+    let n = graph.nvtxs();
+    let stripes = nthreads.max(1);
+    let bounds = stripe_bounds(n, stripes);
+    let mut mate: Vec<u32> = (0..n as u32).collect();
+    let mut matched = vec![false; n];
+    let inv_tot = inv_totals(graph);
+    let balanced = scheme == MatchingScheme::BalancedHeavyEdge && graph.ncon() > 1;
+    let mut pairs = 0usize;
+
+    // Stripe owning a vertex (stripes are near-equal, not exact divisions).
+    let stripe_of = |v: usize| bounds.partition_point(|&b| b <= v) - 1;
+
+    for round in 0..ROUNDS {
+        let parity = round % 2;
+        // --- Proposal superstep -----------------------------------------
+        // Each worker scans its stripe's unmatched parity-`parity` vertices
+        // and proposes to the best unmatched opposite-parity neighbour,
+        // bucketing proposals by the target's stripe. `matched` is
+        // read-only until grants land, so workers are independent.
+        let per_stripe: Vec<Vec<Vec<Proposal>>> = pool::map(stripes, |s| {
+            let mut rng =
+                Rng::seed_from_u64(seed ^ ((round as u64) << 32) ^ ((s as u64) << 8));
+            let mut out: Vec<Vec<Proposal>> = (0..stripes).map(|_| Vec::new()).collect();
+            for v in bounds[s]..bounds[s + 1] {
+                if matched[v] || v % 2 != parity {
+                    continue;
+                }
+                let vw = graph.vwgt(v);
+                let mut best: Option<(i64, f64, u32)> = None;
+                for (u, w) in graph.edges(v) {
+                    let ug = u as usize;
+                    if matched[ug] || ug % 2 == parity {
+                        continue;
+                    }
+                    let better_w = best.is_none_or(|(bw, _, _)| w > bw);
+                    let tie_w = best.is_some_and(|(bw, _, _)| w == bw);
+                    if !better_w && !tie_w {
+                        continue;
+                    }
+                    let spread = if balanced {
+                        combined_spread(vw, graph.vwgt(ug), &inv_tot)
+                    } else {
+                        0.0
+                    };
+                    if better_w || best.is_none_or(|(_, bs, _)| spread < bs) {
+                        best = Some((w, spread, u));
+                    }
+                }
+                if scheme == MatchingScheme::Random {
+                    // Random scheme ignores weights: a uniformly random
+                    // unmatched opposite-parity neighbour instead.
+                    let cands: Vec<(u32, i64)> = graph
+                        .edges(v)
+                        .filter(|&(u, _)| !matched[u as usize] && u as usize % 2 != parity)
+                        .collect();
+                    best = cands.choose(&mut rng).map(|&(u, w)| (w, 0.0, u));
+                }
+                if let Some((w, _, u)) = best {
+                    out[stripe_of(u as usize)].push(Proposal {
+                        target: u,
+                        proposer: v as u32,
+                        edge_w: w,
+                    });
+                }
+            }
+            out
+        });
+
+        // --- Arbitration superstep --------------------------------------
+        // Worker `t` owns the targets of stripe `t`: it scans the
+        // proposals every stripe bucketed for it and keeps one winner per
+        // target under the shared Euro-Par rule. The winner is a pure
+        // function of the proposal set, so scheduling cannot perturb it.
+        let grants: Vec<Vec<(u32, u32)>> = pool::map(stripes, |t| {
+            let (lo, hi) = (bounds[t], bounds[t + 1]);
+            let mut best: Vec<Option<(i64, f64, u32)>> = vec![None; hi - lo];
+            for from in &per_stripe {
+                for pr in &from[t] {
+                    let spread = if balanced {
+                        combined_spread(
+                            graph.vwgt(pr.proposer as usize),
+                            graph.vwgt(pr.target as usize),
+                            &inv_tot,
+                        )
+                    } else {
+                        0.0
+                    };
+                    let key = (pr.edge_w, spread, pr.proposer);
+                    let slot = &mut best[pr.target as usize - lo];
+                    if slot.is_none_or(|b| grant_beats(key, b)) {
+                        *slot = Some(key);
+                    }
+                }
+            }
+            best.iter()
+                .enumerate()
+                .filter_map(|(i, b)| b.map(|(_, _, p)| (p, (lo + i) as u32)))
+                .collect()
+        });
+
+        // --- Commit (stripe-then-target order) --------------------------
+        // Proposers (parity `parity`) and targets (opposite parity) are
+        // disjoint sets, each proposer proposed at most once, and each
+        // target granted at most once — so every grant commits.
+        let nprops: usize = per_stripe.iter().flatten().map(Vec::len).sum();
+        let mut ngrants = 0usize;
+        for stripe_grants in &grants {
+            for &(v, u) in stripe_grants {
+                debug_assert!(!matched[v as usize] && !matched[u as usize]);
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+                matched[v as usize] = true;
+                matched[u as usize] = true;
+                ngrants += 1;
+            }
+        }
+        pairs += ngrants;
+        // Losing proposals are the protocol's arbitration conflicts.
+        counter_add(Counter::MatchConflicts, (nprops - ngrants) as u64);
+        event!(
+            "match_smp_round",
+            round = round,
+            parity = parity,
+            proposals = nprops,
+            grants = ngrants,
+            conflicts = nprops - ngrants,
+        );
+    }
+
+    // --- Serial cleanup tail -------------------------------------------
+    // Whatever parity restrictions and lost arbitrations left unmatched
+    // gets one communication-free greedy pass (any parity), in a seeded
+    // random order — serial HEM on the remainder, which is what keeps the
+    // coarsening ratio close to the serial matcher's.
+    let mut leftover: Vec<u32> = (0..n as u32).filter(|&v| !matched[v as usize]).collect();
+    let mut rng = Rng::seed_from_u64(seed ^ 0xC1EA_4011);
+    leftover.shuffle(&mut rng);
+    event!("match_smp_cleanup", leftover = leftover.len(), nvtxs = n);
+    pairs += greedy_match_pass(
+        graph,
+        scheme,
+        &leftover,
+        &mut mate,
+        &mut matched,
+        &inv_tot,
+        &mut rng,
+    );
+
+    GraphMatching {
+        mate,
+        coarse_nvtxs: n - pairs,
+    }
+}
+
+/// Per-worker timestamped marker table for the row-fill pass. `mark[cu] ==
+/// stamp` means coarse neighbour `cu` is already in the current row at
+/// position `slot[cu]`; bumping `stamp` invalidates the whole table in
+/// O(1), so there is no per-row reset walk at all.
+#[derive(Debug, Default)]
+struct MarkerTable {
+    stamp: u32,
+    mark: Vec<u32>,
+    slot: Vec<u32>,
+}
+
+impl MarkerTable {
+    /// Grows the table to cover `cn` coarse vertices (entries start at
+    /// generation 0, i.e. "never seen").
+    fn ensure(&mut self, cn: usize) {
+        if self.mark.len() < cn {
+            self.mark.resize(cn, 0);
+            self.slot.resize(cn, 0);
+        }
+    }
+
+    /// Starts a new row and returns its generation stamp.
+    fn begin_row(&mut self) -> u32 {
+        if self.stamp == u32::MAX {
+            // Generation counter exhausted (4 billion rows): hard reset.
+            self.mark.fill(0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.stamp
+    }
+}
+
+/// Reusable scratch of the two-pass contraction kernel. Everything here —
+/// per-worker marker tables, the representative-id map, degree bounds, and
+/// the provisional over-allocated CSR — persists across hierarchy levels,
+/// sized once by the finest level and reused shrinking downwards.
+#[derive(Debug, Default)]
+pub struct SmpCoarsenScratch {
+    markers: Vec<MarkerTable>,
+    /// Coarse id of each representative fine vertex (garbage elsewhere).
+    rep_id: Vec<u32>,
+    /// Representative pairs `(v, mate)` in coarse-id order.
+    reps: Vec<(u32, u32)>,
+    /// Pass 1: per-coarse-vertex degree upper bound.
+    row_cap: Vec<usize>,
+    /// Provisional row offsets (prefix sums of `row_cap`).
+    prov_xadj: Vec<usize>,
+    /// Pass 2: over-allocated rows, compacted in pass 3.
+    prov_adjncy: Vec<Vertex>,
+    prov_adjwgt: Vec<i64>,
+    /// Actual row lengths after the fill.
+    row_len: Vec<u32>,
+}
+
+impl SmpCoarsenScratch {
+    /// An empty scratch; grows on first use.
+    pub fn new() -> Self {
+        SmpCoarsenScratch::default()
+    }
+}
+
+/// Splits the first `bounds.last()` elements of `data` into the chunks
+/// delimited by `bounds` (one per stripe) — the safe way to hand each
+/// worker a disjoint `&mut` view of a shared output buffer.
+fn split_chunks<'a, T>(mut data: &'a mut [T], bounds: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(bounds.len().saturating_sub(1));
+    for w in bounds.windows(2) {
+        let (chunk, rest) = data.split_at_mut(w[1] - w[0]);
+        out.push(chunk);
+        data = rest;
+    }
+    out
+}
+
+/// Two-pass parallel contraction of `graph` along `matching` over
+/// `nthreads` stripes. Produces the **identical** coarse CSR and
+/// fine→coarse map as the serial [`crate::coarsen::contract`] for the same
+/// matching, at any stripe count.
+pub fn contract_smp(
+    graph: &Graph,
+    matching: &GraphMatching,
+    nthreads: usize,
+    scratch: &mut SmpCoarsenScratch,
+) -> (Graph, Vec<u32>) {
+    let n = graph.nvtxs();
+    let ncon = graph.ncon();
+    let cn = matching.coarse_nvtxs;
+    let stripes = nthreads.max(1);
+    let bounds = stripe_bounds(n, stripes);
+    let mate = &matching.mate;
+    let SmpCoarsenScratch {
+        markers,
+        rep_id,
+        reps,
+        row_cap,
+        prov_xadj,
+        prov_adjncy,
+        prov_adjwgt,
+        row_len,
+    } = scratch;
+
+    // --- Coarse ids ------------------------------------------------------
+    // A vertex represents its pair iff it is the lower endpoint
+    // (`mate[v] >= v` also covers singletons); ids are assigned in fine
+    // order, reproducing the serial numbering. Per-stripe representative
+    // counts prefix-sum into each stripe's id base.
+    let rep_counts: Vec<usize> = pool::map(stripes, |s| {
+        (bounds[s]..bounds[s + 1])
+            .filter(|&v| mate[v] as usize >= v)
+            .count()
+    });
+    let rep_base = exclusive_prefix_sum(&rep_counts);
+    debug_assert_eq!(rep_base[stripes], cn, "matching miscounted coarse_nvtxs");
+
+    if rep_id.len() < n {
+        rep_id.resize(n, 0);
+    }
+    if reps.len() < cn {
+        reps.resize(cn, (0, 0));
+    }
+    {
+        let id_chunks = split_chunks(&mut rep_id[..], &bounds);
+        let rep_chunks = split_chunks(&mut reps[..], &rep_base);
+        let items: Vec<_> = id_chunks.into_iter().zip(rep_chunks).collect();
+        zip_map(items, |s, (ids, rp)| {
+            let mut c = 0usize;
+            for (i, v) in (bounds[s]..bounds[s + 1]).enumerate() {
+                let u = mate[v] as usize;
+                if u >= v {
+                    ids[i] = (rep_base[s] + c) as u32;
+                    rp[c] = (v as u32, u as u32);
+                    c += 1;
+                }
+            }
+        });
+    }
+    let (rep_id, reps) = (&rep_id[..], &reps[..]);
+
+    // Every vertex inherits its representative's coarse id.
+    let mut cmap = vec![0u32; n];
+    {
+        let chunks = split_chunks(&mut cmap[..], &bounds);
+        zip_map(chunks, |s, chunk| {
+            for (i, v) in (bounds[s]..bounds[s + 1]).enumerate() {
+                let u = mate[v] as usize;
+                chunk[i] = if u >= v { rep_id[v] } else { rep_id[u] };
+            }
+        });
+    }
+
+    // --- Pass 1: degree upper bounds → provisional row offsets -----------
+    if row_cap.len() < cn {
+        row_cap.resize(cn, 0);
+    }
+    {
+        let chunks = split_chunks(&mut row_cap[..], &rep_base);
+        zip_map(chunks, |s, caps| {
+            for (i, &(v, u)) in reps[rep_base[s]..rep_base[s + 1]].iter().enumerate() {
+                let mut cap = graph.degree(v as usize);
+                if u != v {
+                    cap += graph.degree(u as usize);
+                }
+                caps[i] = cap;
+            }
+        });
+    }
+    prov_xadj.clear();
+    prov_xadj.reserve(cn + 1);
+    prov_xadj.push(0);
+    let mut acc = 0usize;
+    for &c in &row_cap[..cn] {
+        acc += c;
+        prov_xadj.push(acc);
+    }
+    let prov_total = acc;
+
+    // --- Pass 2: parallel row fill ---------------------------------------
+    if prov_adjncy.len() < prov_total {
+        prov_adjncy.resize(prov_total, 0);
+        prov_adjwgt.resize(prov_total, 0);
+    }
+    if row_len.len() < cn {
+        row_len.resize(cn, 0);
+    }
+    while markers.len() < stripes {
+        markers.push(MarkerTable::default());
+    }
+    let mut vwgt = vec![0i64; cn * ncon];
+    // Stripe `s` owns coarse ids `rep_base[s]..rep_base[s+1]`, whose
+    // provisional rows are the contiguous range below — so every output
+    // splits cleanly at stripe boundaries.
+    let prov_bounds: Vec<usize> = rep_base.iter().map(|&c| prov_xadj[c]).collect();
+    let vwgt_bounds: Vec<usize> = rep_base.iter().map(|&c| c * ncon).collect();
+    {
+        let an_chunks = split_chunks(&mut prov_adjncy[..], &prov_bounds);
+        let aw_chunks = split_chunks(&mut prov_adjwgt[..], &prov_bounds);
+        let rl_chunks = split_chunks(&mut row_len[..], &rep_base);
+        let vw_chunks = split_chunks(&mut vwgt[..], &vwgt_bounds);
+        let mk_refs: Vec<&mut MarkerTable> = markers.iter_mut().take(stripes).collect();
+        let items: Vec<_> = an_chunks
+            .into_iter()
+            .zip(aw_chunks)
+            .zip(rl_chunks)
+            .zip(vw_chunks)
+            .zip(mk_refs)
+            .map(|((((an, aw), rl), vw), mk)| (an, aw, rl, vw, mk))
+            .collect();
+        let cmap = &cmap[..];
+        zip_map(items, |s, (an, aw, rl, vw, mk)| {
+            mk.ensure(cn);
+            let base = prov_bounds[s];
+            for (i, &(v, u)) in reps[rep_base[s]..rep_base[s + 1]].iter().enumerate() {
+                let cg = rep_base[s] + i;
+                let row = prov_xadj[cg] - base;
+                let stamp = mk.begin_row();
+                let mut len = 0usize;
+                let mut absorb = |fine: u32| {
+                    for (nb, w) in graph.edges(fine as usize) {
+                        let cu = cmap[nb as usize] as usize;
+                        if cu == cg {
+                            continue; // internal (matched) edge disappears
+                        }
+                        if mk.mark[cu] == stamp {
+                            aw[row + mk.slot[cu] as usize] += w;
+                        } else {
+                            mk.mark[cu] = stamp;
+                            mk.slot[cu] = len as u32;
+                            an[row + len] = cu as u32;
+                            aw[row + len] = w;
+                            len += 1;
+                        }
+                    }
+                    for (k, &w) in graph.vwgt(fine as usize).iter().enumerate() {
+                        vw[i * ncon + k] += w;
+                    }
+                };
+                absorb(v);
+                if u != v {
+                    absorb(u);
+                }
+                rl[i] = len as u32;
+            }
+        });
+    }
+
+    // --- Pass 3: parallel compaction into the final CSR -------------------
+    let mut xadj = Vec::with_capacity(cn + 1);
+    xadj.push(0usize);
+    let mut acc = 0usize;
+    for &l in &row_len[..cn] {
+        acc += l as usize;
+        xadj.push(acc);
+    }
+    let total = acc;
+    let mut adjncy = vec![0u32; total];
+    let mut adjwgt = vec![0i64; total];
+    let final_bounds: Vec<usize> = rep_base.iter().map(|&c| xadj[c]).collect();
+    {
+        let an_chunks = split_chunks(&mut adjncy[..], &final_bounds);
+        let aw_chunks = split_chunks(&mut adjwgt[..], &final_bounds);
+        let items: Vec<_> = an_chunks.into_iter().zip(aw_chunks).collect();
+        let (prov_adjncy, prov_adjwgt) = (&prov_adjncy[..], &prov_adjwgt[..]);
+        let (prov_xadj, row_len) = (&prov_xadj[..], &row_len[..]);
+        zip_map(items, |s, (an, aw)| {
+            let mut at = 0usize;
+            for cg in rep_base[s]..rep_base[s + 1] {
+                let len = row_len[cg] as usize;
+                let ps = prov_xadj[cg];
+                an[at..at + len].copy_from_slice(&prov_adjncy[ps..ps + len]);
+                aw[at..at + len].copy_from_slice(&prov_adjwgt[ps..ps + len]);
+                at += len;
+            }
+        });
+    }
+
+    (
+        Graph::from_csr_unchecked(ncon, xadj, adjncy, adjwgt, vwgt),
+        cmap,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsen::contract;
+    use crate::matching::{is_valid_matching, match_graph};
+    use mcgp_graph::generators::{grid_2d, mrng_like};
+    use mcgp_graph::synthetic;
+
+    const SCHEMES: [MatchingScheme; 3] = [
+        MatchingScheme::Random,
+        MatchingScheme::HeavyEdge,
+        MatchingScheme::BalancedHeavyEdge,
+    ];
+
+    #[test]
+    fn parallel_matching_is_valid_involution_across_schemes_and_threads() {
+        // The property the coarsener rests on: mate is an involution, no two
+        // matched pairs share a vertex, pairs are adjacent, and
+        // coarse_nvtxs accounts exactly for the pairs formed — across
+        // schemes × stripe counts × seeds.
+        let graphs = [
+            synthetic::type1(&mrng_like(3000, 3), 3, 3),
+            grid_2d(40, 40),
+        ];
+        for g in &graphs {
+            for scheme in SCHEMES {
+                for t in [1usize, 2, 3, 8] {
+                    for seed in [0u64, 7, 1234] {
+                        let m = match_smp(g, scheme, t, seed);
+                        assert!(
+                            is_valid_matching(g, &m),
+                            "{scheme:?} t={t} seed={seed} produced an invalid matching"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matching_ratio_close_to_serial_hem() {
+        // The serial cleanup tail must keep the coarsening ratio near the
+        // serial matcher's (the distributed protocol under-matches; the
+        // shared-memory one must not).
+        let g = mrng_like(4000, 9);
+        let mut rng = Rng::seed_from_u64(3);
+        let serial = match_graph(&g, MatchingScheme::HeavyEdge, &mut rng);
+        for t in [2usize, 8] {
+            let par = match_smp(&g, MatchingScheme::HeavyEdge, t, 3);
+            assert!(
+                (par.coarse_nvtxs as f64) <= 1.10 * serial.coarse_nvtxs as f64,
+                "t={t}: parallel {} vs serial {} coarse vertices",
+                par.coarse_nvtxs,
+                serial.coarse_nvtxs
+            );
+        }
+    }
+
+    #[test]
+    fn matching_deterministic_per_seed_and_stripe_count() {
+        let g = synthetic::type1(&mrng_like(2000, 5), 3, 5);
+        for t in [1usize, 2, 8] {
+            let a = match_smp(&g, MatchingScheme::BalancedHeavyEdge, t, 11);
+            let b = match_smp(&g, MatchingScheme::BalancedHeavyEdge, t, 11);
+            assert_eq!(a.mate, b.mate, "t={t} not deterministic");
+            assert_eq!(a.coarse_nvtxs, b.coarse_nvtxs);
+        }
+    }
+
+    #[test]
+    fn contract_smp_reproduces_serial_contract_exactly() {
+        // Equivalence: for the same matching, the two-pass kernel must
+        // produce the serial CSR bit for bit (ids, row order, weights) —
+        // stronger than the up-to-row-order contract it documents.
+        let graphs = [
+            synthetic::type1(&mrng_like(2500, 7), 3, 7),
+            synthetic::type2(&grid_2d(30, 30), 2, 9),
+        ];
+        for g in &graphs {
+            for (i, scheme) in SCHEMES.into_iter().enumerate() {
+                let mut rng = Rng::seed_from_u64(13 + i as u64);
+                let m = match_graph(g, scheme, &mut rng);
+                let (sg, scmap) = contract(g, &m);
+                for t in [1usize, 2, 5, 8] {
+                    let mut scratch = SmpCoarsenScratch::new();
+                    let (pg, pcmap) = contract_smp(g, &m, t, &mut scratch);
+                    assert_eq!(pcmap, scmap, "{scheme:?} t={t}: cmap differs");
+                    assert_eq!(pg.xadj(), sg.xadj(), "{scheme:?} t={t}: xadj differs");
+                    assert_eq!(pg.adjncy(), sg.adjncy(), "{scheme:?} t={t}: adjncy differs");
+                    assert_eq!(pg.adjwgt(), sg.adjwgt(), "{scheme:?} t={t}: adjwgt differs");
+                    assert_eq!(
+                        pg.vwgt_flat(),
+                        sg.vwgt_flat(),
+                        "{scheme:?} t={t}: vwgt differs"
+                    );
+                    pg.validate().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contract_smp_with_parallel_matching_preserves_invariants() {
+        let g = synthetic::type1(&mrng_like(3000, 11), 4, 11);
+        let mut scratch = SmpCoarsenScratch::new();
+        for t in [2usize, 8] {
+            let m = match_smp(&g, MatchingScheme::BalancedHeavyEdge, t, 17);
+            let (cg, cmap) = contract_smp(&g, &m, t, &mut scratch);
+            assert_eq!(cg.nvtxs(), m.coarse_nvtxs);
+            assert_eq!(cg.total_vwgt(), g.total_vwgt());
+            cg.validate().unwrap();
+            mcgp_graph::check::check_projection(&cmap, g.nvtxs(), cg.nvtxs()).unwrap();
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_levels_matches_fresh_scratch() {
+        // Drive a few levels through ONE scratch and compare each level
+        // against a fresh-scratch contraction — stale provisional data or
+        // marker generations must never leak between levels.
+        let mut g = synthetic::type1(&mrng_like(4000, 13), 3, 13);
+        let mut shared = SmpCoarsenScratch::new();
+        for level in 0..4 {
+            let m = match_smp(&g, MatchingScheme::BalancedHeavyEdge, 4, 23 + level);
+            let (a, acmap) = contract_smp(&g, &m, 4, &mut shared);
+            let (b, bcmap) = contract_smp(&g, &m, 4, &mut SmpCoarsenScratch::new());
+            assert_eq!(acmap, bcmap, "level {level}: cmap differs");
+            assert_eq!(a.adjncy(), b.adjncy(), "level {level}: adjncy differs");
+            assert_eq!(a.adjwgt(), b.adjwgt(), "level {level}: adjwgt differs");
+            g = a;
+        }
+    }
+
+    #[test]
+    fn oversubscribed_stripes_and_tiny_graphs() {
+        // More stripes than vertices, and singleton-heavy graphs.
+        let g = grid_2d(3, 3);
+        for t in [1usize, 8, 64] {
+            let m = match_smp(&g, MatchingScheme::HeavyEdge, t, 1);
+            assert!(is_valid_matching(&g, &m));
+            let (cg, _) = contract_smp(&g, &m, t, &mut SmpCoarsenScratch::new());
+            assert_eq!(cg.total_vwgt(), g.total_vwgt());
+            cg.validate().unwrap();
+        }
+    }
+}

@@ -33,6 +33,14 @@ pub struct PartitionConfig {
     pub coarsen_to_min: usize,
     /// Matching scheme used during coarsening.
     pub matching: MatchingScheme,
+    /// Worker threads for the shared-memory coarsening engine
+    /// ([`crate::coarsen_smp`]): vertices are striped across this many
+    /// workers for the proposal/arbitration matching supersteps and the
+    /// two-pass contraction kernel. `1` (the default) runs the serial
+    /// coarsening path unchanged. Output is deterministic for a fixed
+    /// `(seed, nthreads)` pair — the stripe count shapes the result, the
+    /// physical thread count never does.
+    pub nthreads: usize,
     /// Maximum refinement iterations per uncoarsening level (the paper
     /// upper-bounds these; early exit on a local minimum).
     pub refine_iters: usize,
@@ -61,6 +69,7 @@ impl Default for PartitionConfig {
             coarsen_to_per_part: 15,
             coarsen_to_min: 120,
             matching: MatchingScheme::BalancedHeavyEdge,
+            nthreads: 1,
             refine_iters: 8,
             init_tries: 8,
             fm_passes: 8,
@@ -75,6 +84,15 @@ impl PartitionConfig {
     pub fn with_seed(&self, seed: u64) -> Self {
         PartitionConfig {
             seed,
+            ..self.clone()
+        }
+    }
+
+    /// Copy of this config with a different shared-memory coarsening thread
+    /// count (`0` is clamped to `1`).
+    pub fn with_threads(&self, nthreads: usize) -> Self {
+        PartitionConfig {
+            nthreads: nthreads.max(1),
             ..self.clone()
         }
     }
@@ -110,5 +128,14 @@ mod tests {
         let d = c.with_seed(9);
         assert_eq!(d.seed, 9);
         assert_eq!(d.imbalance_tol, c.imbalance_tol);
+    }
+
+    #[test]
+    fn default_is_serial_and_with_threads_clamps() {
+        let c = PartitionConfig::default();
+        assert_eq!(c.nthreads, 1);
+        assert_eq!(c.with_threads(8).nthreads, 8);
+        assert_eq!(c.with_threads(0).nthreads, 1);
+        assert_eq!(c.with_threads(8).seed, c.seed);
     }
 }

@@ -29,17 +29,31 @@ pub fn match_graph(graph: &Graph, scheme: MatchingScheme, rng: &mut Rng) -> Grap
     let mut matched = vec![false; n];
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.shuffle(rng);
+    let inv_tot = inv_totals(graph);
+    let pairs = greedy_match_pass(graph, scheme, &order, &mut mate, &mut matched, &inv_tot, rng);
+    GraphMatching {
+        mate,
+        coarse_nvtxs: n - pairs,
+    }
+}
 
-    // Normalisation for the balanced-edge tie-break: weight spreads are only
-    // comparable across constraints after scaling by constraint totals.
-    let tot = graph.total_vwgt();
-    let inv_tot: Vec<f64> = tot
-        .iter()
-        .map(|&t| if t > 0 { 1.0 / t as f64 } else { 0.0 })
-        .collect();
-
+/// One greedy pass over `order`: every still-unmatched visited vertex picks
+/// its best unmatched neighbour under `scheme` and the pair commits
+/// immediately. Visited vertices that find no partner become singletons.
+/// Returns the number of pairs formed. This is the whole serial matcher,
+/// and the communication-free cleanup tail of the shared-memory matcher
+/// ([`crate::coarsen_smp`]) on whatever the arbitration rounds left over.
+pub(crate) fn greedy_match_pass(
+    graph: &Graph,
+    scheme: MatchingScheme,
+    order: &[u32],
+    mate: &mut [u32],
+    matched: &mut [bool],
+    inv_tot: &[f64],
+    rng: &mut Rng,
+) -> usize {
     let mut pairs = 0usize;
-    for &v in &order {
+    for &v in order {
         let v = v as usize;
         if matched[v] {
             continue;
@@ -47,10 +61,10 @@ pub fn match_graph(graph: &Graph, scheme: MatchingScheme, rng: &mut Rng) -> Grap
         let partner = match scheme {
             MatchingScheme::Random => {
                 // First unmatched neighbour in (randomised) adjacency scan.
-                pick_random(graph, v, &matched, rng)
+                pick_random(graph, v, matched, rng)
             }
-            MatchingScheme::HeavyEdge => pick_heavy(graph, v, &matched),
-            MatchingScheme::BalancedHeavyEdge => pick_balanced_heavy(graph, v, &matched, &inv_tot),
+            MatchingScheme::HeavyEdge => pick_heavy(graph, v, matched),
+            MatchingScheme::BalancedHeavyEdge => pick_balanced_heavy(graph, v, matched, inv_tot),
         };
         if let Some(u) = partner {
             mate[v] = u as u32;
@@ -62,10 +76,52 @@ pub fn match_graph(graph: &Graph, scheme: MatchingScheme, rng: &mut Rng) -> Grap
             matched[v] = true; // stays a singleton
         }
     }
-    GraphMatching {
-        mate,
-        coarse_nvtxs: n - pairs,
+    pairs
+}
+
+/// Per-constraint reciprocal weight totals — the normalisation the
+/// balanced-edge tie-break needs before weight spreads are comparable
+/// across constraints (zero-total constraints contribute nothing).
+pub fn inv_totals(graph: &Graph) -> Vec<f64> {
+    graph
+        .total_vwgt()
+        .iter()
+        .map(|&t| if t > 0 { 1.0 / t as f64 } else { 0.0 })
+        .collect()
+}
+
+/// Spread (`max_i − min_i`) of the combined normalised weight vector of two
+/// prospective mates — the SC'98 balanced-edge objective: smaller is
+/// flatter, hence easier to balance after contraction. Zero when there is
+/// at most one constraint.
+pub fn combined_spread(a: &[i64], b: &[i64], inv_tot: &[f64]) -> f64 {
+    if inv_tot.len() <= 1 {
+        return 0.0;
     }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..inv_tot.len() {
+        let c = (a[i] + b[i]) as f64 * inv_tot[i];
+        lo = lo.min(c);
+        hi = hi.max(c);
+    }
+    hi - lo
+}
+
+/// The Euro-Par grant-arbitration ordering, shared by the shared-memory
+/// matcher and the distributed request/grant protocol
+/// (`mcgp-parallel::match_par`): a candidate proposal `(edge weight,
+/// combined spread, proposer id)` beats the incumbent on a heavier edge,
+/// then a flatter combined weight vector, then the **lower proposer id**
+/// (the deterministic conflict tie-break).
+pub fn grant_beats(cand: (i64, f64, u32), best: (i64, f64, u32)) -> bool {
+    if cand.0 != best.0 {
+        return cand.0 > best.0;
+    }
+    if cand.1 != best.1 {
+        return cand.1 < best.1;
+    }
+    cand.2 < best.2
 }
 
 fn pick_random(graph: &Graph, v: usize, matched: &[bool], rng: &mut Rng) -> Option<usize> {
@@ -73,18 +129,19 @@ fn pick_random(graph: &Graph, v: usize, matched: &[bool], rng: &mut Rng) -> Opti
     if nbrs.is_empty() {
         return None;
     }
-    // Start the scan at a random offset so ties don't always favour low ids.
+    // Start the scan at a random offset so ties don't always favour low
+    // ids; two plain segment scans (start.., then ..start) keep the modulo
+    // out of the inner loop.
     let start = rng.gen_range(0..nbrs.len());
-    for i in 0..nbrs.len() {
-        let u = nbrs[(start + i) % nbrs.len()] as usize;
-        if !matched[u] {
-            return Some(u);
+    for &u in nbrs[start..].iter().chain(&nbrs[..start]) {
+        if !matched[u as usize] {
+            return Some(u as usize);
         }
     }
     None
 }
 
-fn pick_heavy(graph: &Graph, v: usize, matched: &[bool]) -> Option<usize> {
+pub(crate) fn pick_heavy(graph: &Graph, v: usize, matched: &[bool]) -> Option<usize> {
     let mut best: Option<(i64, usize)> = None;
     for (u, w) in graph.edges(v) {
         let u = u as usize;
@@ -98,7 +155,7 @@ fn pick_heavy(graph: &Graph, v: usize, matched: &[bool]) -> Option<usize> {
 /// Heavy-edge with the balanced-edge tie-break: among unmatched neighbours
 /// whose edge weight equals the maximum, minimise the spread
 /// `max_i − min_i` of the combined normalised weight vector.
-fn pick_balanced_heavy(
+pub(crate) fn pick_balanced_heavy(
     graph: &Graph,
     v: usize,
     matched: &[bool],
@@ -265,5 +322,27 @@ mod tests {
         let a = match_graph(&g, MatchingScheme::BalancedHeavyEdge, &mut rng(11));
         let b = match_graph(&g, MatchingScheme::BalancedHeavyEdge, &mut rng(11));
         assert_eq!(a.mate, b.mate);
+    }
+
+    #[test]
+    fn grant_arbitration_orders_weight_spread_then_id() {
+        // Heavier edge wins outright.
+        assert!(grant_beats((5, 0.9, 7), (4, 0.0, 1)));
+        assert!(!grant_beats((4, 0.0, 1), (5, 0.9, 7)));
+        // Equal weight: flatter combined vector wins.
+        assert!(grant_beats((5, 0.1, 7), (5, 0.2, 1)));
+        // Full tie: lower proposer id wins — and beats is strict, so a
+        // proposal never displaces an identical incumbent.
+        assert!(grant_beats((5, 0.1, 1), (5, 0.1, 7)));
+        assert!(!grant_beats((5, 0.1, 7), (5, 0.1, 7)));
+    }
+
+    #[test]
+    fn combined_spread_is_flat_for_single_constraint() {
+        assert_eq!(combined_spread(&[3], &[9], &[0.5]), 0.0);
+        let s = combined_spread(&[4, 0], &[0, 4], &[0.25, 0.25]);
+        assert!(s.abs() < 1e-12, "flat combination has spread {s}");
+        let t = combined_spread(&[4, 0], &[4, 0], &[0.25, 0.25]);
+        assert!(t > 1.0, "skewed combination has spread {t}");
     }
 }

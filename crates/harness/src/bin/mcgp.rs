@@ -4,8 +4,8 @@
 //! ```text
 //! mcgp table1|figures|table2|table3|table4|ablation-slices|
 //!      ablation-imbalance|ablation-constraints|all [options]
-//! mcgp partition <file.graph> <k> [--parallel <p>] [--seed <s>] [--outfile <f>]
-//!                [--trace <f>] [--trace-format jsonl|chrome]
+//! mcgp partition <file.graph> <k> [--parallel <p>] [--threads <t>] [--seed <s>]
+//!                [--outfile <f>] [--trace <f>] [--trace-format jsonl|chrome]
 //! mcgp check <file.graph> [<file.part> <k>] [--tol <t>] [--level cheap|full]
 //! mcgp fuzz [--seed <s>] [--cases <n>]
 //! mcgp trace-check <trace-file> [--format jsonl|chrome]
@@ -351,11 +351,13 @@ fn load_graph(spec: &str, seed: u64) -> mcgp_graph::Graph {
 }
 
 fn run_partition(opts: &Opts) {
-    let usage = "usage: mcgp partition <file.graph|gen:...> <k> [--parallel <p>] [--seed <s>] \
-                 [--tol <t>] [--outfile <f>] [--trace <f>] [--trace-format jsonl|chrome]";
+    let usage = "usage: mcgp partition <file.graph|gen:...> <k> [--parallel <p>] [--threads <t>] \
+                 [--seed <s>] [--tol <t>] [--outfile <f>] [--trace <f>] \
+                 [--trace-format jsonl|chrome]";
     let mut file = None;
     let mut k = None;
     let mut parallel = None;
+    let mut threads = 1usize;
     let mut seed = 4242u64;
     let mut tol = 0.05f64;
     let mut outfile = None;
@@ -365,6 +367,7 @@ fn run_partition(opts: &Opts) {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--parallel" => parallel = Some(parse_value(flag_value(&mut it, a, usage), a)),
+            "--threads" => threads = parse_value(flag_value(&mut it, a, usage), a),
             "--seed" => seed = parse_value(flag_value(&mut it, a, usage), a),
             "--tol" => tol = parse_value(flag_value(&mut it, a, usage), a),
             "--outfile" => outfile = Some(flag_value(&mut it, a, usage).to_string()),
@@ -391,7 +394,10 @@ fn run_partition(opts: &Opts) {
         graph.nedges(),
         graph.ncon()
     );
-    let mut cfg = mcgp_core::PartitionConfig::default().with_seed(seed);
+    // Shared-memory coarsening stripes; deterministic per (seed, threads).
+    let mut cfg = mcgp_core::PartitionConfig::default()
+        .with_seed(seed)
+        .with_threads(threads);
     cfg.imbalance_tol = tol;
     if trace_file.is_some() {
         let _ = mcgp_runtime::trace::take_local(); // clean slate for the event buffer

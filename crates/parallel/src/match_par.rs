@@ -17,6 +17,7 @@
 use crate::cost::CostTracker;
 use crate::dist::DistGraph;
 use mcgp_core::config::MatchingScheme;
+use mcgp_core::matching::{combined_spread, grant_beats};
 use mcgp_runtime::rng::SliceRandom;
 use mcgp_runtime::rng::Rng;
 
@@ -174,15 +175,20 @@ pub fn parallel_match(
             let mut best_idx = i;
             let mut best_key = (
                 proposals[i].edge_w,
-                -combined_spread(&proposals[i].vwgt, tw, &inv_tot),
+                combined_spread(&proposals[i].vwgt, tw, &inv_tot),
+                proposals[i].proposer,
             );
             let mut j = i + 1;
             while j < proposals.len() && proposals[j].target == target {
                 let key = (
                     proposals[j].edge_w,
-                    -combined_spread(&proposals[j].vwgt, tw, &inv_tot),
+                    combined_spread(&proposals[j].vwgt, tw, &inv_tot),
+                    proposals[j].proposer,
                 );
-                if key > best_key {
+                // Shared Euro-Par arbitration rule (also the shared-memory
+                // coarsener's): heaviest edge, flattest combined vector,
+                // lowest proposer id.
+                if grant_beats(key, best_key) {
                     best_key = key;
                     best_idx = j;
                 }
@@ -268,20 +274,6 @@ pub fn parallel_match(
         mate,
         coarse_nvtxs: n - pairs,
     }
-}
-
-fn combined_spread(a: &[i64], b: &[i64], inv_tot: &[f64]) -> f64 {
-    if inv_tot.len() <= 1 {
-        return 0.0;
-    }
-    let mut lo = f64::INFINITY;
-    let mut hi = f64::NEG_INFINITY;
-    for i in 0..inv_tot.len() {
-        let c = (a[i] + b[i]) as f64 * inv_tot[i];
-        lo = lo.min(c);
-        hi = hi.max(c);
-    }
-    hi - lo
 }
 
 #[cfg(test)]

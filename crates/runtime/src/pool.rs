@@ -11,7 +11,16 @@
 //!
 //! Thread count: `min(available_parallelism, units)`, overridable with the
 //! `MCGP_THREADS` environment variable (`MCGP_THREADS=1` forces serial
-//! execution, which is also the fallback for tiny inputs).
+//! execution, which is also the fallback for tiny inputs; a value above
+//! `available_parallelism` deliberately oversubscribes, so multi-thread
+//! merge paths are testable on small machines).
+//!
+//! For work that must *write* into disjoint regions of shared buffers —
+//! the shared-memory coarsening kernels stripe CSR arrays across workers —
+//! [`zip_map`] runs one worker per owned work item (e.g. a `&mut` chunk
+//! tuple) with the same ordered merge, and [`stripe_bounds`] /
+//! [`exclusive_prefix_sum`] compute the contiguous stripe and row offsets
+//! those kernels are built from.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -24,8 +33,10 @@ struct WorkerReport {
 }
 
 /// Number of worker threads a parallel region will use for `units` work
-/// units: `min(units, available_parallelism)`, capped by `MCGP_THREADS`
-/// when set.
+/// units: `min(units, available_parallelism)`. An explicit `MCGP_THREADS`
+/// replaces `available_parallelism` outright (it may oversubscribe the
+/// hardware — determinism never depends on the physical thread count, only
+/// on the unit count, so this is purely a scheduling choice).
 pub fn threads_for(units: usize) -> usize {
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
     let cap = std::env::var("MCGP_THREADS")
@@ -33,7 +44,7 @@ pub fn threads_for(units: usize) -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
         .unwrap_or(hw);
-    cap.min(hw).min(units).max(1)
+    cap.min(units).max(1)
 }
 
 /// Applies `f` to every index in `0..n` on the pool and returns the
@@ -121,6 +132,91 @@ where
     map(n, f);
 }
 
+/// Consumes `items` and applies `f(index, item)` to each, one worker per
+/// item, returning results **in item order**. Unlike [`map`], each work
+/// unit *owns* its input — this is how striped kernels hand every worker a
+/// disjoint `&mut` chunk of a shared buffer without any unsafe aliasing
+/// (build the chunks with `split_at_mut`, move one tuple into each item).
+///
+/// Thread-local phase counters, trace events, and metrics recorded inside
+/// `f` are merged back into the caller in item order, exactly as [`map`]
+/// does, so instrumented kernels stay observable and deterministic.
+pub fn zip_map<A, T, F>(items: Vec<A>, f: F) -> Vec<T>
+where
+    A: Send,
+    T: Send,
+    F: Fn(usize, A) -> T + Sync,
+{
+    let n = items.len();
+    if threads_for(n) <= 1 || n <= 1 {
+        return items.into_iter().enumerate().map(|(i, a)| f(i, a)).collect();
+    }
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let mut reports: Vec<WorkerReport> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let f = &f;
+                scope.spawn(move || {
+                    let v = f(i, item);
+                    (
+                        v,
+                        WorkerReport {
+                            phase: crate::phase::take_local(),
+                            events: crate::trace::take_local(),
+                            metrics: crate::metrics::take_local(),
+                        },
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let (v, report) = h.join().expect("zip_map worker panicked");
+            out.push(v);
+            reports.push(report);
+        }
+    });
+    for r in reports {
+        crate::phase::merge_local(&r.phase);
+        crate::trace::merge_local(r.events);
+        crate::metrics::merge_local(&r.metrics);
+    }
+    out
+}
+
+/// Boundaries of `stripes` near-equal contiguous stripes over `0..n`:
+/// `bounds.len() == stripes + 1`, `bounds[0] == 0`, `bounds[stripes] == n`,
+/// stripe `s` is `bounds[s]..bounds[s + 1]`. The first `n % stripes`
+/// stripes are one element longer, so sizes differ by at most one.
+pub fn stripe_bounds(n: usize, stripes: usize) -> Vec<usize> {
+    let stripes = stripes.max(1);
+    let (base, extra) = (n / stripes, n % stripes);
+    let mut bounds = Vec::with_capacity(stripes + 1);
+    let mut at = 0usize;
+    bounds.push(at);
+    for s in 0..stripes {
+        at += base + usize::from(s < extra);
+        bounds.push(at);
+    }
+    bounds
+}
+
+/// Exclusive prefix sum: `out[i] = counts[0] + … + counts[i-1]`, with a
+/// final total at `out[counts.len()]` — the offsets form CSR row starts or
+/// per-stripe output bases.
+pub fn exclusive_prefix_sum(counts: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    out.push(0);
+    for &c in counts {
+        acc += c;
+        out.push(acc);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +271,48 @@ mod tests {
         assert_eq!(threads_for(0), 1);
         assert_eq!(threads_for(1), 1);
         assert!(threads_for(1 << 20) >= 1);
+    }
+
+    #[test]
+    fn zip_map_moves_disjoint_chunks_and_keeps_order() {
+        let mut data = vec![0u32; 10];
+        let (a, b) = data.split_at_mut(4);
+        let filled = zip_map(vec![(0u32, a), (100u32, b)], |i, (base, chunk)| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = base + j as u32;
+            }
+            i
+        });
+        assert_eq!(filled, vec![0, 1]);
+        assert_eq!(data, vec![0, 1, 2, 3, 100, 101, 102, 103, 104, 105]);
+    }
+
+    #[test]
+    fn zip_map_merges_worker_counters() {
+        use crate::phase::{counter_add, take_local, Counter};
+        let _ = take_local();
+        zip_map((0..8).collect::<Vec<usize>>(), |_, v| {
+            counter_add(Counter::MovesAttempted, v as u64)
+        });
+        assert_eq!(take_local().counter(Counter::MovesAttempted), 28);
+    }
+
+    #[test]
+    fn stripe_bounds_cover_range_evenly() {
+        assert_eq!(stripe_bounds(10, 3), vec![0, 4, 7, 10]);
+        assert_eq!(stripe_bounds(2, 4), vec![0, 1, 2, 2, 2]);
+        assert_eq!(stripe_bounds(0, 2), vec![0, 0, 0]);
+        let b = stripe_bounds(1001, 8);
+        assert_eq!(b.len(), 9);
+        assert_eq!(*b.last().unwrap(), 1001);
+        for w in b.windows(2) {
+            assert!(w[1] - w[0] <= 126 && w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn exclusive_prefix_sum_yields_offsets_and_total() {
+        assert_eq!(exclusive_prefix_sum(&[3, 0, 2]), vec![0, 3, 3, 5]);
+        assert_eq!(exclusive_prefix_sum(&[]), vec![0]);
     }
 }

@@ -1,9 +1,9 @@
 #!/usr/bin/env sh
-# Refinement perf trajectory: runs the refinement-heavy bench targets and
-# writes BENCH_refine.json (one JSONL record per bench: median/min/max wall
-# seconds over $SAMPLES samples) at the repo root, then validates the file's
-# schema with `mcgp bench-check`. Future PRs compare their medians against
-# the committed file.
+# Perf trajectory: runs the refinement- and coarsening-heavy bench targets
+# and writes BENCH_refine.json / BENCH_coarsen.json (one JSONL record per
+# bench: median/min/max wall seconds over $SAMPLES samples) at the repo
+# root, then validates each file's schema with `mcgp bench-check`. Future
+# PRs compare their medians against the committed files.
 #
 #   SAMPLES=5 scripts/bench.sh          # default 5 samples per bench
 #   scripts/bench.sh smoke              # filter benches by substring
@@ -12,10 +12,15 @@ set -eu
 cd "$(dirname "$0")/.."
 
 SAMPLES="${SAMPLES:-5}"
-OUT="${OUT:-BENCH_refine.json}"
+REFINE_OUT="${REFINE_OUT:-BENCH_refine.json}"
+COARSEN_OUT="${COARSEN_OUT:-BENCH_coarsen.json}"
 
 cargo build --release --offline -p mcgp-harness
 cargo bench --offline -p mcgp-bench --bench refine_boundary -- \
-    --samples "$SAMPLES" "$@" > "$OUT"
-./target/release/mcgp bench-check "$OUT"
-echo "bench: wrote $OUT"
+    --samples "$SAMPLES" "$@" > "$REFINE_OUT"
+./target/release/mcgp bench-check "$REFINE_OUT"
+echo "bench: wrote $REFINE_OUT"
+cargo bench --offline -p mcgp-bench --bench coarsen_smp -- \
+    --samples "$SAMPLES" "$@" > "$COARSEN_OUT"
+./target/release/mcgp bench-check "$COARSEN_OUT"
+echo "bench: wrote $COARSEN_OUT"

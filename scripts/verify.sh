@@ -24,12 +24,25 @@ test -s "$TRACE_DIR/smoke.trace.jsonl"
     --outfile "$TRACE_DIR/smoke.part"
 ./target/release/mcgp trace-check "$TRACE_DIR/smoke.trace.json" --format chrome
 
-# Bench smoke test: run the small refinement bench and fail on any drift in
-# the JSONL result format (`mcgp bench-check` validates every record).
+# Bench smoke test: run the small refinement and coarsening benches and
+# fail on any drift in the JSONL result format (`mcgp bench-check`
+# validates every record).
 cargo bench --offline -p mcgp-bench --bench refine_boundary -- \
     --samples 3 smoke > "$TRACE_DIR/bench_smoke.json"
 test -s "$TRACE_DIR/bench_smoke.json"
 ./target/release/mcgp bench-check "$TRACE_DIR/bench_smoke.json"
+cargo bench --offline -p mcgp-bench --bench coarsen_smp -- \
+    --samples 3 smoke > "$TRACE_DIR/bench_coarsen_smoke.json"
+test -s "$TRACE_DIR/bench_coarsen_smoke.json"
+./target/release/mcgp bench-check "$TRACE_DIR/bench_coarsen_smoke.json"
+
+# Threaded-coarsening smoke: the same (seed, threads) pair must reproduce
+# byte-identical partitions across repeated runs of the CLI.
+./target/release/mcgp partition gen:mrng:4000:3 8 --threads 4 \
+    --outfile "$TRACE_DIR/smp_a.part" > /dev/null
+./target/release/mcgp partition gen:mrng:4000:3 8 --threads 4 \
+    --outfile "$TRACE_DIR/smp_b.part" > /dev/null
+cmp "$TRACE_DIR/smp_a.part" "$TRACE_DIR/smp_b.part"
 
 # Correctness smoke tests (see DESIGN.md, "Validation & differential
 # testing"). The `checked` profile is release + debug-assertions, so the

@@ -1,6 +1,7 @@
 //! Coarsening-engine benchmarks: the shared-memory matching and
 //! contraction kernels against their serial counterparts on the acceptance
-//! workload (`mrng_like(200_000)`, ncon 1 and 3) at 1/2/8 stripes.
+//! workload (`mrng_like(200_000)`, ncon 1 and 3) plus a skewed-degree
+//! R-MAT contrast case (`rmat_default(16, 8, 11)`) at 1/2/8 stripes.
 //!
 //! * `coarsen/match` — one matching pass in isolation (`match_graph` at
 //!   t = 1, `match_smp` above).
@@ -24,7 +25,7 @@ use mcgp_core::coarsen_smp::{contract_smp, match_smp, SmpCoarsenScratch};
 use mcgp_core::config::MatchingScheme;
 use mcgp_core::matching::match_graph;
 use mcgp_core::PartitionConfig;
-use mcgp_graph::generators::mrng_like;
+use mcgp_graph::generators::{mrng_like, rmat_default};
 use mcgp_graph::synthetic;
 use mcgp_graph::Graph;
 use mcgp_runtime::rng::Rng;
@@ -75,6 +76,13 @@ fn main() {
     bench_graph(&b, &base, "mrng200k_ncon1");
     let g3 = synthetic::type1(&base, 3, 1);
     bench_graph(&b, &g3, "mrng200k_ncon3");
+
+    // Power-law contrast case: an R-MAT graph (2^16 vertices, skewed
+    // degrees) stresses the matching arbiter and contraction slabs in ways
+    // the bounded-degree meshes above cannot — hub vertices concentrate
+    // conflicts on a few stripes and produce fat coarse adjacency rows.
+    let skew = rmat_default(16, 8, 11);
+    bench_graph(&b, &skew, "rmat16_ncon1");
 
     // Small, fast workload for CI smoke runs (filter: `smoke`).
     let sg = synthetic::type1(&mrng_like(5_000, 2), 3, 2);

@@ -16,12 +16,17 @@
 //! ratios close to serial heavy-edge matching.
 //!
 //! Contraction is two passes over striped coarse vertices: pass one
-//! computes per-coarse-vertex degree upper bounds and prefix-sums them into
-//! provisional CSR row offsets; pass two fills rows in parallel using
+//! computes per-*stripe* slab capacities (summed degree bounds of the
+//! stripe's representatives) and prefix-sums them into slab bases; pass
+//! two fills each stripe's rows *packed contiguously* into its slab using
 //! per-worker *timestamped* marker tables (generation counters replace the
 //! reset-to-`NONE` walk of [`crate::coarsen::ContractionScratch`], so a
-//! worker never rescans what it wrote), followed by a parallel compaction
-//! of the over-allocated rows into the final CSR.
+//! worker never rescans what it wrote). Because rows are packed as they
+//! are produced, no per-row compaction pass exists at all: finalisation is
+//! at most one in-place block shift per stripe (closing the slack the
+//! degree bound over-reserved), skipped for every stripe whose preceding
+//! slabs came out exact — and the filled buffers are moved into the coarse
+//! graph rather than copied.
 //!
 //! **Determinism contract.** The output — matching, coarse ids, and the
 //! exact CSR edge order — depends only on `(graph, scheme, seed, nthreads)`.
@@ -262,9 +267,11 @@ impl MarkerTable {
 }
 
 /// Reusable scratch of the two-pass contraction kernel. Everything here —
-/// per-worker marker tables, the representative-id map, degree bounds, and
-/// the provisional over-allocated CSR — persists across hierarchy levels,
-/// sized once by the finest level and reused shrinking downwards.
+/// per-worker marker tables, the representative-id map, and row lengths —
+/// persists across hierarchy levels, sized once by the finest level and
+/// reused shrinking downwards. (The slab buffers themselves are *not*
+/// scratch: the fill writes them packed, so they become the coarse graph's
+/// CSR arrays by move instead of by copy.)
 #[derive(Debug, Default)]
 pub struct SmpCoarsenScratch {
     markers: Vec<MarkerTable>,
@@ -272,13 +279,6 @@ pub struct SmpCoarsenScratch {
     rep_id: Vec<u32>,
     /// Representative pairs `(v, mate)` in coarse-id order.
     reps: Vec<(u32, u32)>,
-    /// Pass 1: per-coarse-vertex degree upper bound.
-    row_cap: Vec<usize>,
-    /// Provisional row offsets (prefix sums of `row_cap`).
-    prov_xadj: Vec<usize>,
-    /// Pass 2: over-allocated rows, compacted in pass 3.
-    prov_adjncy: Vec<Vertex>,
-    prov_adjwgt: Vec<i64>,
     /// Actual row lengths after the fill.
     row_len: Vec<u32>,
 }
@@ -323,24 +323,36 @@ pub fn contract_smp(
         markers,
         rep_id,
         reps,
-        row_cap,
-        prov_xadj,
-        prov_adjncy,
-        prov_adjwgt,
         row_len,
     } = scratch;
 
-    // --- Coarse ids ------------------------------------------------------
+    // --- Coarse ids + slab capacities -------------------------------------
     // A vertex represents its pair iff it is the lower endpoint
     // (`mate[v] >= v` also covers singletons); ids are assigned in fine
-    // order, reproducing the serial numbering. Per-stripe representative
-    // counts prefix-sum into each stripe's id base.
-    let rep_counts: Vec<usize> = pool::map(stripes, |s| {
-        (bounds[s]..bounds[s + 1])
-            .filter(|&v| mate[v] as usize >= v)
-            .count()
+    // order, reproducing the serial numbering. The same sweep sums each
+    // stripe's degree bound — the summed fine degrees of its
+    // representatives upper-bound the stripe's coarse adjacency exactly
+    // (contraction only merges or drops edges) — so one pass yields both
+    // the per-stripe id bases and the per-stripe output slab bases.
+    let stats: Vec<(usize, usize)> = pool::map(stripes, |s| {
+        let mut count = 0usize;
+        let mut cap = 0usize;
+        for (v, &m) in mate.iter().enumerate().take(bounds[s + 1]).skip(bounds[s]) {
+            let u = m as usize;
+            if u >= v {
+                count += 1;
+                cap += graph.degree(v);
+                if u != v {
+                    cap += graph.degree(u);
+                }
+            }
+        }
+        (count, cap)
     });
+    let rep_counts: Vec<usize> = stats.iter().map(|&(c, _)| c).collect();
+    let slab_caps: Vec<usize> = stats.iter().map(|&(_, c)| c).collect();
     let rep_base = exclusive_prefix_sum(&rep_counts);
+    let slab_base = exclusive_prefix_sum(&slab_caps);
     debug_assert_eq!(rep_base[stripes], cn, "matching miscounted coarse_nvtxs");
 
     if rep_id.len() < n {
@@ -379,37 +391,14 @@ pub fn contract_smp(
         });
     }
 
-    // --- Pass 1: degree upper bounds → provisional row offsets -----------
-    if row_cap.len() < cn {
-        row_cap.resize(cn, 0);
-    }
-    {
-        let chunks = split_chunks(&mut row_cap[..], &rep_base);
-        zip_map(chunks, |s, caps| {
-            for (i, &(v, u)) in reps[rep_base[s]..rep_base[s + 1]].iter().enumerate() {
-                let mut cap = graph.degree(v as usize);
-                if u != v {
-                    cap += graph.degree(u as usize);
-                }
-                caps[i] = cap;
-            }
-        });
-    }
-    prov_xadj.clear();
-    prov_xadj.reserve(cn + 1);
-    prov_xadj.push(0);
-    let mut acc = 0usize;
-    for &c in &row_cap[..cn] {
-        acc += c;
-        prov_xadj.push(acc);
-    }
-    let prov_total = acc;
-
-    // --- Pass 2: parallel row fill ---------------------------------------
-    if prov_adjncy.len() < prov_total {
-        prov_adjncy.resize(prov_total, 0);
-        prov_adjwgt.resize(prov_total, 0);
-    }
+    // --- Pass 2: parallel packed row fill ---------------------------------
+    // Each stripe writes its rows back-to-back into its own slab: the
+    // compaction that used to be a third pass is fused into the fill, and
+    // the buffers below end up as the coarse CSR itself (moved, not
+    // copied), so they are plain locals rather than reusable scratch.
+    let slab_total = slab_base[stripes];
+    let mut adjncy: Vec<Vertex> = vec![0; slab_total];
+    let mut adjwgt: Vec<i64> = vec![0; slab_total];
     if row_len.len() < cn {
         row_len.resize(cn, 0);
     }
@@ -417,14 +406,10 @@ pub fn contract_smp(
         markers.push(MarkerTable::default());
     }
     let mut vwgt = vec![0i64; cn * ncon];
-    // Stripe `s` owns coarse ids `rep_base[s]..rep_base[s+1]`, whose
-    // provisional rows are the contiguous range below — so every output
-    // splits cleanly at stripe boundaries.
-    let prov_bounds: Vec<usize> = rep_base.iter().map(|&c| prov_xadj[c]).collect();
     let vwgt_bounds: Vec<usize> = rep_base.iter().map(|&c| c * ncon).collect();
-    {
-        let an_chunks = split_chunks(&mut prov_adjncy[..], &prov_bounds);
-        let aw_chunks = split_chunks(&mut prov_adjwgt[..], &prov_bounds);
+    let actual: Vec<usize> = {
+        let an_chunks = split_chunks(&mut adjncy[..], &slab_base);
+        let aw_chunks = split_chunks(&mut adjwgt[..], &slab_base);
         let rl_chunks = split_chunks(&mut row_len[..], &rep_base);
         let vw_chunks = split_chunks(&mut vwgt[..], &vwgt_bounds);
         let mk_refs: Vec<&mut MarkerTable> = markers.iter_mut().take(stripes).collect();
@@ -439,10 +424,12 @@ pub fn contract_smp(
         let cmap = &cmap[..];
         zip_map(items, |s, (an, aw, rl, vw, mk)| {
             mk.ensure(cn);
-            let base = prov_bounds[s];
+            // Packed write offset within this stripe's slab: each row
+            // starts where the previous one ended, not at a degree-bound
+            // provisional offset.
+            let mut at = 0usize;
             for (i, &(v, u)) in reps[rep_base[s]..rep_base[s + 1]].iter().enumerate() {
                 let cg = rep_base[s] + i;
-                let row = prov_xadj[cg] - base;
                 let stamp = mk.begin_row();
                 let mut len = 0usize;
                 let mut absorb = |fine: u32| {
@@ -452,12 +439,12 @@ pub fn contract_smp(
                             continue; // internal (matched) edge disappears
                         }
                         if mk.mark[cu] == stamp {
-                            aw[row + mk.slot[cu] as usize] += w;
+                            aw[at + mk.slot[cu] as usize] += w;
                         } else {
                             mk.mark[cu] = stamp;
                             mk.slot[cu] = len as u32;
-                            an[row + len] = cu as u32;
-                            aw[row + len] = w;
+                            an[at + len] = cu as u32;
+                            aw[at + len] = w;
                             len += 1;
                         }
                     }
@@ -470,11 +457,13 @@ pub fn contract_smp(
                     absorb(u);
                 }
                 rl[i] = len as u32;
+                at += len;
             }
-        });
-    }
+            at
+        })
+    };
 
-    // --- Pass 3: parallel compaction into the final CSR -------------------
+    // --- Finalise: row offsets + slab shift -------------------------------
     let mut xadj = Vec::with_capacity(cn + 1);
     xadj.push(0usize);
     let mut acc = 0usize;
@@ -483,26 +472,30 @@ pub fn contract_smp(
         xadj.push(acc);
     }
     let total = acc;
-    let mut adjncy = vec![0u32; total];
-    let mut adjwgt = vec![0i64; total];
-    let final_bounds: Vec<usize> = rep_base.iter().map(|&c| xadj[c]).collect();
-    {
-        let an_chunks = split_chunks(&mut adjncy[..], &final_bounds);
-        let aw_chunks = split_chunks(&mut adjwgt[..], &final_bounds);
-        let items: Vec<_> = an_chunks.into_iter().zip(aw_chunks).collect();
-        let (prov_adjncy, prov_adjwgt) = (&prov_adjncy[..], &prov_adjwgt[..]);
-        let (prov_xadj, row_len) = (&prov_xadj[..], &row_len[..]);
-        zip_map(items, |s, (an, aw)| {
-            let mut at = 0usize;
-            for cg in rep_base[s]..rep_base[s + 1] {
-                let len = row_len[cg] as usize;
-                let ps = prov_xadj[cg];
-                an[at..at + len].copy_from_slice(&prov_adjncy[ps..ps + len]);
-                aw[at..at + len].copy_from_slice(&prov_adjwgt[ps..ps + len]);
-                at += len;
-            }
-        });
+    let final_base = exclusive_prefix_sum(&actual);
+    debug_assert_eq!(final_base[stripes], total, "row lengths disagree with slab fill");
+    // Close the slack the degree bounds over-reserved: shift each stripe's
+    // packed block left to its final offset. A stripe whose preceding
+    // slabs came out exact is already in place and is skipped — stripe 0
+    // always is, and when every slab was tight the whole loop is a no-op
+    // (the degenerate case the old per-row compaction pass paid full price
+    // for).
+    let mut shifted = 0usize;
+    for s in 1..stripes {
+        if final_base[s] != slab_base[s] && actual[s] > 0 {
+            adjncy.copy_within(slab_base[s]..slab_base[s] + actual[s], final_base[s]);
+            adjwgt.copy_within(slab_base[s]..slab_base[s] + actual[s], final_base[s]);
+            shifted += 1;
+        }
     }
+    adjncy.truncate(total);
+    adjwgt.truncate(total);
+    event!(
+        "contract_smp_compact",
+        stripes = stripes,
+        shifted = shifted,
+        slack = slab_total - total,
+    );
 
     (
         Graph::from_csr_unchecked(ncon, xadj, adjncy, adjwgt, vwgt),

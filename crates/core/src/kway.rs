@@ -4,14 +4,14 @@
 
 use crate::balance::{part_weights, rebalance, BalanceModel};
 use crate::boundary::RefineWorkspace;
-use crate::coarsen::coarsen;
+use crate::coarsen::{coarsen, CoarseLevel};
 use crate::config::PartitionConfig;
 use crate::kway_refine::{greedy_kway_refine_ws, KwayRefineStats};
 use crate::rb::recursive_bisection_assignment;
 use crate::PartitionResult;
 use crate::balance::imbalances_from_pw;
 use mcgp_graph::check as gcheck;
-use mcgp_graph::Graph;
+use mcgp_graph::{CheckLevel, Graph};
 use mcgp_runtime::event;
 use mcgp_runtime::phase::{timed, Phase};
 use mcgp_runtime::rng::Rng;
@@ -25,44 +25,50 @@ pub(crate) fn enforce(result: mcgp_graph::Result<()>) {
     }
 }
 
-/// Computes a k-way multi-constraint partition with the multilevel k-way
-/// algorithm. This is the serial baseline of every experiment in the paper.
-pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) -> PartitionResult {
-    assert!(nparts >= 1, "nparts must be >= 1");
-    assert!(graph.nvtxs() >= nparts, "more parts than vertices");
-    if nparts == 1 {
-        return PartitionResult::measure(graph, vec![0; graph.nvtxs()], 1, 0);
+/// Seam: post-coarsen. Each contraction must conserve the per-constraint
+/// weight totals, shrink the graph, and produce a structurally valid CSR
+/// with an in-range projection map. Shared between the cold driver and
+/// [`crate::hierarchy::HierarchySnapshot::build`].
+pub(crate) fn check_levels(graph: &Graph, levels: &[CoarseLevel], check: CheckLevel) {
+    if !check.enabled() {
+        return;
     }
-    let mut rng = Rng::seed_from_u64(config.seed);
-
-    // Phase 1: coarsening.
-    let hierarchy = timed(Phase::Coarsen, || {
-        coarsen(graph, config.coarsen_target(nparts), config, &mut rng)
-    });
-    let levels = hierarchy.nlevels();
-    let coarsest = hierarchy.coarsest().unwrap_or(graph);
-
-    // Seam: post-coarsen. Each contraction must conserve the per-constraint
-    // weight totals, shrink the graph, and produce a structurally valid CSR
-    // with an in-range projection map.
-    if config.check.enabled() {
-        let mut finer = graph;
-        for level in hierarchy.levels() {
-            enforce(gcheck::check_graph(&level.graph, config.check));
-            enforce(gcheck::check_conserved_weights(finer, &level.graph));
-            enforce(gcheck::check_projection(
-                &level.cmap,
-                finer.nvtxs(),
-                level.graph.nvtxs(),
-            ));
-            finer = &level.graph;
-        }
+    let mut finer = graph;
+    for level in levels {
+        enforce(gcheck::check_graph(&level.graph, check));
+        enforce(gcheck::check_conserved_weights(finer, &level.graph));
+        enforce(gcheck::check_projection(
+            &level.cmap,
+            finer.nvtxs(),
+            level.graph.nvtxs(),
+        ));
+        finer = &level.graph;
     }
+}
+
+/// Phases 2+3 of the multilevel driver: initial partitioning of the
+/// coarsest graph, then uncoarsening with refinement down `levels`.
+///
+/// Factored out of [`partition_kway`] so the warm path of a cached
+/// [`crate::hierarchy::HierarchySnapshot`] runs *exactly* the same code on
+/// *exactly* the same RNG state as a cold run — bit-identical results are a
+/// structural property, not a re-implementation kept in sync by tests.
+/// `levels` is finest-first, as produced by [`coarsen`]; `rng` must hold
+/// the post-coarsening RNG state.
+pub(crate) fn initial_and_refine(
+    graph: &Graph,
+    levels: &[CoarseLevel],
+    nparts: usize,
+    config: &PartitionConfig,
+    rng: &mut Rng,
+) -> Vec<u32> {
+    let nlevels = levels.len();
+    let coarsest = levels.last().map_or(graph, |l| &l.graph);
 
     // Phase 2: initial partitioning of the coarsest graph via recursive
     // bisection.
     let mut assignment = timed(Phase::Initial, || {
-        recursive_bisection_assignment(coarsest, nparts, config, &mut rng)
+        recursive_bisection_assignment(coarsest, nparts, config, rng)
     });
 
     // Seam: post-initial. Recursive bisection must emit an in-range
@@ -110,20 +116,24 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
 
     // Refine the initial partitioning on the coarsest graph itself.
     timed(Phase::Refine, || {
-        refine_on(levels, coarsest, &mut assignment, &mut rng, &mut ws);
-        for lvl in (0..levels).rev() {
-            assignment = hierarchy.project(lvl, &assignment);
+        refine_on(nlevels, coarsest, &mut assignment, rng, &mut ws);
+        for lvl in (0..nlevels).rev() {
+            let cmap = &levels[lvl].cmap;
+            assignment = cmap
+                .iter()
+                .map(|&c| assignment[c as usize])
+                .collect();
             let finer = if lvl == 0 {
                 graph
             } else {
-                &hierarchy.levels()[lvl - 1].graph
+                &levels[lvl - 1].graph
             };
             // Seam: post-project. Projection maps every fine vertex through
             // the cmap, so length and range must already hold here.
             if config.check.enabled() {
                 enforce(gcheck::check_assignment(finer, &assignment, nparts));
             }
-            refine_on(lvl, finer, &mut assignment, &mut rng, &mut ws);
+            refine_on(lvl, finer, &mut assignment, rng, &mut ws);
         }
 
         // Final feasibility passes at the finest level: alternate balancing
@@ -134,12 +144,32 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
             if model.is_balanced(&pw) {
                 break;
             }
-            rebalance(graph, &mut assignment, &mut pw, &model, &mut rng);
-            greedy_kway_refine_ws(graph, &mut assignment, &mut pw, &model, 2, &mut rng, &mut ws);
+            rebalance(graph, &mut assignment, &mut pw, &model, rng);
+            greedy_kway_refine_ws(graph, &mut assignment, &mut pw, &model, 2, rng, &mut ws);
         }
     });
 
-    PartitionResult::measure(graph, assignment, nparts, levels)
+    assignment
+}
+
+/// Computes a k-way multi-constraint partition with the multilevel k-way
+/// algorithm. This is the serial baseline of every experiment in the paper.
+pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) -> PartitionResult {
+    assert!(nparts >= 1, "nparts must be >= 1");
+    assert!(graph.nvtxs() >= nparts, "more parts than vertices");
+    if nparts == 1 {
+        return PartitionResult::measure(graph, vec![0; graph.nvtxs()], 1, 0);
+    }
+    let mut rng = Rng::seed_from_u64(config.seed);
+
+    // Phase 1: coarsening.
+    let hierarchy = timed(Phase::Coarsen, || {
+        coarsen(graph, config.coarsen_target(nparts), config, &mut rng)
+    });
+    check_levels(graph, hierarchy.levels(), config.check);
+
+    let assignment = initial_and_refine(graph, hierarchy.levels(), nparts, config, &mut rng);
+    PartitionResult::measure(graph, assignment, nparts, hierarchy.nlevels())
 }
 
 #[cfg(test)]

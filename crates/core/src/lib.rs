@@ -47,6 +47,7 @@ pub mod coarsen;
 pub mod coarsen_smp;
 pub mod config;
 pub mod fm2way;
+pub mod hierarchy;
 pub mod initial;
 pub mod kway;
 pub mod kway_refine;
@@ -57,6 +58,7 @@ pub mod rb;
 pub mod single;
 
 pub use config::{MatchingScheme, PartitionConfig};
+pub use hierarchy::HierarchySnapshot;
 pub use kway::partition_kway;
 pub use rb::partition_rb;
 pub use single::{partition_kway_single, partition_rb_single};

@@ -344,6 +344,115 @@ fn read_partition_impl<R: Read>(reader: R, nparts: Option<usize>) -> Result<Vec<
     Ok(out)
 }
 
+/// Reads a graph from the JSON-CSR object format the serving layer accepts
+/// alongside METIS text:
+///
+/// ```json
+/// {
+///   "ncon": 1,
+///   "xadj": [0, 2, 4, 6],
+///   "adjncy": [1, 2, 0, 2, 0, 1],
+///   "adjwgt": [1, 1, 1, 1, 1, 1],
+///   "vwgt": [1, 1, 1]
+/// }
+/// ```
+///
+/// `adjwgt` and `vwgt` are optional (default: unit weights); `ncon`
+/// defaults to 1 and is capped at [`MAX_NCON`]. The arrays go through the
+/// full [`Graph::from_csr`] validation, so malformed structure (asymmetry,
+/// self-loops, range errors, negative weights) surfaces as the same typed
+/// [`McgpError`]s the METIS reader produces — never a panic.
+pub fn graph_from_json(text: &str) -> Result<Graph> {
+    use mcgp_runtime::Json;
+
+    let root = Json::parse(text)
+        .map_err(|e| McgpError::parse(0, format!("invalid JSON: {e}")))?;
+    if root.get("xadj").is_none() {
+        return Err(McgpError::parse(
+            0,
+            "JSON graph must be an object with an `xadj` array",
+        ));
+    }
+
+    fn int_array(root: &Json, key: &str) -> Result<Option<Vec<i64>>> {
+        let Some(v) = root.get(key) else {
+            return Ok(None);
+        };
+        let arr = v.as_arr().ok_or_else(|| {
+            McgpError::parse(0, format!("JSON graph field `{key}` must be an array"))
+        })?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, x)| {
+                x.as_i64().ok_or_else(|| {
+                    McgpError::parse(
+                        0,
+                        format!("JSON graph field `{key}`[{i}] must be an integer"),
+                    )
+                })
+            })
+            .collect::<Result<Vec<i64>>>()
+            .map(Some)
+    }
+
+    let ncon = match root.get("ncon") {
+        None => 1usize,
+        Some(v) => {
+            let n = v.as_i64().filter(|&n| n >= 1).ok_or_else(|| {
+                McgpError::parse(0, "JSON graph field `ncon` must be a positive integer")
+            })? as usize;
+            if n > MAX_NCON {
+                return Err(McgpError::Overflow {
+                    what: "ncon",
+                    value: n as u128,
+                    limit: MAX_NCON as u128,
+                });
+            }
+            n
+        }
+    };
+
+    let xadj_raw = int_array(&root, "xadj")?.expect("presence checked above");
+    let mut xadj = Vec::with_capacity(xadj_raw.len().min(MAX_PREALLOC));
+    for (i, v) in xadj_raw.into_iter().enumerate() {
+        if v < 0 {
+            return Err(McgpError::parse(
+                0,
+                format!("JSON graph field `xadj`[{i}] is negative"),
+            ));
+        }
+        xadj.push(v as usize);
+    }
+    if xadj.is_empty() {
+        return Err(McgpError::parse(0, "JSON graph `xadj` must not be empty"));
+    }
+    let nvtxs = xadj.len() - 1;
+    if nvtxs as u128 > u32::MAX as u128 {
+        return Err(McgpError::Overflow {
+            what: "nvtxs",
+            value: nvtxs as u128,
+            limit: u32::MAX as u128,
+        });
+    }
+
+    let adjncy_raw = int_array(&root, "adjncy")?.unwrap_or_default();
+    let mut adjncy: Vec<Vertex> = Vec::with_capacity(adjncy_raw.len().min(MAX_PREALLOC));
+    for (i, v) in adjncy_raw.into_iter().enumerate() {
+        if v < 0 || v as u128 > u32::MAX as u128 {
+            return Err(McgpError::parse(
+                0,
+                format!("JSON graph field `adjncy`[{i}] out of vertex-id range"),
+            ));
+        }
+        adjncy.push(v as Vertex);
+    }
+
+    let adjwgt = int_array(&root, "adjwgt")?.unwrap_or_else(|| vec![1; adjncy.len()]);
+    let vwgt = int_array(&root, "vwgt")?.unwrap_or_else(|| vec![1; nvtxs * ncon]);
+
+    Graph::from_csr(ncon, xadj, adjncy, adjwgt, vwgt)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,5 +630,72 @@ mod tests {
         b.vwgt(2, vec![1, 2, 3, 4, 5, 6]);
         let g = b.build().unwrap();
         assert_eq!(roundtrip(&g), g);
+    }
+
+    #[test]
+    fn json_ingest_parses_full_and_minimal_objects() {
+        // Triangle with explicit weights.
+        let g = graph_from_json(
+            r#"{"ncon": 2,
+                "xadj": [0, 2, 4, 6],
+                "adjncy": [1, 2, 0, 2, 0, 1],
+                "adjwgt": [5, 1, 5, 2, 1, 2],
+                "vwgt": [1, 10, 2, 20, 3, 30]}"#,
+        )
+        .unwrap();
+        assert_eq!(g.nvtxs(), 3);
+        assert_eq!(g.ncon(), 2);
+        assert_eq!(g.nedges(), 3);
+        assert_eq!(g.vwgt(1), &[2, 20]);
+        // Minimal: unit weights, ncon defaults to 1.
+        let g = graph_from_json(r#"{"xadj": [0, 1, 2], "adjncy": [1, 0]}"#).unwrap();
+        assert_eq!(g.nvtxs(), 2);
+        assert_eq!(g.ncon(), 1);
+        assert_eq!(g.vwgt(0), &[1]);
+        assert_eq!(g.edge_weights(0), &[1]);
+    }
+
+    #[test]
+    fn json_ingest_rejects_malformed_input_with_typed_errors() {
+        // Syntax, shape, and range errors are Parse; structural invalidity
+        // (asymmetry here) is the same error from_csr produces.
+        for bad in [
+            "not json at all",
+            "[1, 2, 3]",
+            r#"{"xadj": "nope"}"#,
+            r#"{"xadj": [0, 1], "adjncy": [1.5]}"#,
+            r#"{"xadj": [0, -1], "adjncy": []}"#,
+            r#"{"xadj": [], "adjncy": []}"#,
+            r#"{"xadj": [0, 1], "adjncy": [-3]}"#,
+            r#"{"xadj": [0, 1, 1], "adjncy": [1]}"#, // asymmetric
+            r#"{"xadj": [0, 1], "adjncy": [0]}"#,    // self-loop
+            r#"{"ncon": 0, "xadj": [0], "adjncy": []}"#,
+        ] {
+            assert!(graph_from_json(bad).is_err(), "accepted: {bad}");
+        }
+        // ncon above the cap is an Overflow, matching the METIS reader.
+        match graph_from_json(r#"{"ncon": 1000, "xadj": [0], "adjncy": []}"#) {
+            Err(McgpError::Overflow { what: "ncon", .. }) => {}
+            other => panic!("expected ncon overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_ingest_agrees_with_metis_reader() {
+        // The same graph through both ingest paths must be identical.
+        let g = crate::generators::mrng_like(300, 5);
+        let mut metis = Vec::new();
+        write_metis(&g, &mut metis).unwrap();
+        let via_metis = read_metis(metis.as_slice()).unwrap();
+        let json = format!(
+            r#"{{"ncon": {}, "xadj": {:?}, "adjncy": {:?}, "adjwgt": {:?}, "vwgt": {:?}}}"#,
+            g.ncon(),
+            g.xadj(),
+            g.adjncy(),
+            g.adjwgt(),
+            g.vwgt_flat(),
+        );
+        let via_json = graph_from_json(&json).unwrap();
+        assert_eq!(via_json, via_metis);
     }
 }

@@ -10,6 +10,12 @@
 //! mcgp fuzz [--seed <s>] [--cases <n>]
 //! mcgp trace-check <trace-file> [--format jsonl|chrome]
 //! mcgp bench-check <bench-jsonl-file>
+//! mcgp serve [--addr <host:port>] [--workers <n>] [--cache-mb <mb>]
+//!            [--timeout-secs <s>] [--port-file <f>] [--trace <f>]
+//! mcgp serve-request --addr <host:port> (--get <path> | <file.graph|gen:...> <k>)
+//!                    [--seed <s>] [--tol <t>] [--threads <t>] [--json] [--full]
+//! mcgp bench serve [--nvtxs <n>] [--requests <n>] [--clients <n>]
+//!                  [--cold-every <n>] [--workers <n>]
 //!
 //! options:
 //!   --scale <N>    generate graphs at 1/N of paper size   [default 16]
@@ -149,6 +155,9 @@ fn main() {
         "fuzz" => run_fuzz(&opts),
         "trace-check" => run_trace_check(&opts),
         "bench-check" => run_bench_check(&opts),
+        "serve" => run_serve(&opts),
+        "serve-request" => run_serve_request(&opts),
+        "bench" => run_bench(&opts),
         other => {
             eprintln!("unknown command `{other}`");
             std::process::exit(2);
@@ -726,4 +735,212 @@ fn run_verify(opts: &Opts) {
             );
         }
     }
+}
+
+/// `mcgp serve`: the partitioning daemon. Binds, optionally reports the
+/// actual address through `--port-file` (scripts bind port 0), installs
+/// the SIGINT/SIGTERM latch, and serves until a graceful shutdown.
+fn run_serve(opts: &Opts) {
+    let usage = "usage: mcgp serve [--addr <host:port>] [--workers <n>] [--cache-mb <mb>] \
+                 [--timeout-secs <s>] [--port-file <f>] [--trace <f>] \
+                 [--trace-format jsonl|chrome]";
+    let mut config = mcgp_serve::ServeConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut trace_file: Option<String> = None;
+    let mut trace_format = mcgp_runtime::trace::TraceFormat::Jsonl;
+    let mut it = opts.rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => config.addr = flag_value(&mut it, a, usage).to_string(),
+            "--workers" => config.workers = parse_value(flag_value(&mut it, a, usage), a),
+            "--cache-mb" => {
+                let mb: usize = parse_value(flag_value(&mut it, a, usage), a);
+                config.cache_bytes = mb * 1024 * 1024;
+            }
+            "--timeout-secs" => {
+                let secs: u64 = parse_value(flag_value(&mut it, a, usage), a);
+                config.io_timeout = std::time::Duration::from_secs(secs.max(1));
+            }
+            "--port-file" => port_file = Some(flag_value(&mut it, a, usage).to_string()),
+            "--trace" => trace_file = Some(flag_value(&mut it, a, usage).to_string()),
+            "--trace-format" => {
+                let name = flag_value(&mut it, a, usage);
+                trace_format = mcgp_runtime::trace::TraceFormat::parse(name)
+                    .unwrap_or_else(|| die(format!("unknown trace format `{name}` (jsonl|chrome)")))
+            }
+            other => die(format!("unexpected argument `{other}`\n{usage}")),
+        }
+    }
+    if trace_file.is_some() {
+        mcgp_runtime::trace::set_enabled(true);
+    }
+    mcgp_serve::signal::install();
+    let workers = config.workers;
+    let cache_mb = config.cache_bytes / (1024 * 1024);
+    let server = mcgp_serve::Server::bind(config).unwrap_or_else(|e| {
+        eprintln!("mcgp serve: bind failed: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.local_addr().unwrap_or_else(|e| die(format!("local_addr: {e}")));
+    if let Some(path) = &port_file {
+        std::fs::write(path, addr.to_string()).unwrap_or_else(|e| {
+            eprintln!("mcgp serve: cannot write --port-file {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+    eprintln!("mcgp serve: listening on {addr} ({workers} workers, {cache_mb} MiB cache)");
+    let handle = server.handle();
+    server.run().unwrap_or_else(|e| {
+        eprintln!("mcgp serve: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("mcgp serve: drained and stopped");
+    eprintln!("mcgp serve: final metrics: {}", handle.metrics_json());
+    if let Some(path) = &trace_file {
+        mcgp_runtime::trace::set_enabled(false);
+        let events = handle.take_trace();
+        mcgp_runtime::trace::write_trace_file(&events, trace_format, std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write trace {path}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("wrote {} trace events to {path}", events.len());
+    }
+}
+
+/// `mcgp serve-request`: a minimal client for scripts and smoke tests.
+/// Prints `status:`, the response headers (lower-cased), a blank line,
+/// then the body — eliding bulky `part` lines unless `--full` is given.
+/// Exits 0 on a 2xx status, 1 otherwise.
+fn run_serve_request(opts: &Opts) {
+    let usage = "usage: mcgp serve-request --addr <host:port> (--get <path> | <file.graph|gen:...> <k>) \
+                 [--seed <s>] [--tol <t>] [--threads <t>] [--json] [--full]";
+    let mut addr: Option<String> = None;
+    let mut get_path: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut k: Option<usize> = None;
+    let mut seed = 4242u64;
+    let mut tol = 0.05f64;
+    let mut threads = 1usize;
+    let mut as_json = false;
+    let mut full = false;
+    let mut it = opts.rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(flag_value(&mut it, a, usage).to_string()),
+            "--get" => get_path = Some(flag_value(&mut it, a, usage).to_string()),
+            "--seed" => seed = parse_value(flag_value(&mut it, a, usage), a),
+            "--tol" => tol = parse_value(flag_value(&mut it, a, usage), a),
+            "--threads" => threads = parse_value(flag_value(&mut it, a, usage), a),
+            "--json" => as_json = true,
+            "--full" => full = true,
+            other if file.is_none() => file = Some(other.to_string()),
+            other if k.is_none() => k = Some(parse_value(other, "part count <k>")),
+            other => die(format!("unexpected argument `{other}`\n{usage}")),
+        }
+    }
+    let Some(addr) = addr else { die(usage) };
+    let timeout = Some(std::time::Duration::from_secs(600));
+    let resp = if let Some(path) = get_path {
+        mcgp_runtime::net::http_request(&addr, "GET", &path, &[], b"", timeout)
+    } else {
+        let (Some(file), Some(k)) = (file, k) else { die(usage) };
+        let graph = load_graph(&file, seed);
+        let target = format!("/partition?k={k}&tol={tol}&seed={seed}&threads={threads}");
+        let (body, headers): (Vec<u8>, &[(&str, &str)]) = if as_json {
+            let doc = mcgp_runtime::json::Json::obj([
+                (
+                    "xadj",
+                    mcgp_runtime::json::Json::Arr(
+                        graph.xadj().iter().map(|&x| mcgp_runtime::json::Json::UInt(x as u64)).collect(),
+                    ),
+                ),
+                (
+                    "adjncy",
+                    mcgp_runtime::json::Json::Arr(
+                        graph.adjncy().iter().map(|&x| mcgp_runtime::json::Json::UInt(x as u64)).collect(),
+                    ),
+                ),
+                (
+                    "adjwgt",
+                    mcgp_runtime::json::Json::Arr(
+                        graph.adjwgt().iter().map(|&x| mcgp_runtime::json::Json::Int(x)).collect(),
+                    ),
+                ),
+                (
+                    "vwgt",
+                    mcgp_runtime::json::Json::Arr(
+                        graph.vwgt_flat().iter().map(|&x| mcgp_runtime::json::Json::Int(x)).collect(),
+                    ),
+                ),
+                ("ncon", mcgp_runtime::json::Json::UInt(graph.ncon() as u64)),
+            ])
+            .to_string()
+            .into_bytes();
+            (doc, &[("Content-Type", "application/json")])
+        } else {
+            let mut body = Vec::new();
+            mcgp_graph::io::write_metis(&graph, &mut body).unwrap_or_else(|e| {
+                eprintln!("failed to serialise {file}: {e}");
+                std::process::exit(1);
+            });
+            (body, &[])
+        };
+        mcgp_runtime::net::http_request(&addr, "POST", &target, headers, &body, timeout)
+    };
+    let resp = resp.unwrap_or_else(|e| {
+        eprintln!("request to {addr} failed: {e}");
+        std::process::exit(1);
+    });
+    println!("status: {}", resp.status);
+    for (name, value) in &resp.headers {
+        println!("{name}: {value}");
+    }
+    println!();
+    let mut elided = 0usize;
+    for line in resp.text().lines() {
+        if !full && line.starts_with("{\"type\":\"part\"") {
+            elided += 1;
+            continue;
+        }
+        println!("{line}");
+    }
+    if elided > 0 {
+        eprintln!("({elided} part line(s) elided; pass --full to print them)");
+    }
+    if resp.status / 100 != 2 {
+        std::process::exit(1);
+    }
+}
+
+/// `mcgp bench serve`: the self-contained load generator. JSONL report on
+/// stdout (redirect into `BENCH_serve.json`), progress on stderr.
+fn run_bench(opts: &Opts) {
+    let usage = "usage: mcgp bench serve [--nvtxs <n>] [--requests <n>] [--clients <n>] \
+                 [--cold-every <n>] [--workers <n>]";
+    let mut cfg = mcgp_serve::bench::BenchServeConfig::default();
+    let mut which: Option<String> = None;
+    let mut it = opts.rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nvtxs" => cfg.nvtxs = parse_value(flag_value(&mut it, a, usage), a),
+            "--requests" => cfg.requests = parse_value(flag_value(&mut it, a, usage), a),
+            "--clients" => cfg.clients = parse_value(flag_value(&mut it, a, usage), a),
+            "--cold-every" => cfg.cold_every = parse_value(flag_value(&mut it, a, usage), a),
+            "--workers" => cfg.workers = parse_value(flag_value(&mut it, a, usage), a),
+            other if which.is_none() => which = Some(other.to_string()),
+            other => die(format!("unexpected argument `{other}`\n{usage}")),
+        }
+    }
+    match which.as_deref() {
+        Some("serve") => {}
+        Some(other) => die(format!("unknown bench target `{other}` (only `serve`)\n{usage}")),
+        None => die(usage),
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    mcgp_serve::bench::run_serve_bench(&cfg, &mut out).unwrap_or_else(|e| {
+        eprintln!("mcgp bench serve: {e}");
+        std::process::exit(1);
+    });
 }

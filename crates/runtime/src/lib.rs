@@ -27,9 +27,13 @@
 //! * [`metrics`] — a named counter/gauge/histogram registry for the
 //!   open-ended metrics tracing wants (gain distributions, boundary
 //!   sizes), active only while tracing is enabled.
+//! * [`net`] — hand-rolled HTTP/1.1 request/response primitives over
+//!   `std::net`, the transport under `mcgp serve` (hermetic policy: no
+//!   hyper/tokio).
 
 pub mod json;
 pub mod metrics;
+pub mod net;
 pub mod phase;
 pub mod pool;
 pub mod rng;

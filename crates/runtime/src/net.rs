@@ -1,0 +1,596 @@
+//! Zero-dependency HTTP/1.1 primitives for the serving layer.
+//!
+//! The hermetic-build policy (see DESIGN.md, "Hermetic runtime") rules out
+//! hyper/axum/tokio, so `mcgp serve` speaks a deliberately small slice of
+//! HTTP/1.1 implemented here directly over [`std::net`]:
+//!
+//! * **Requests** are parsed by [`read_request`]: request line, headers,
+//!   and an optional `Content-Length` body, under hard limits
+//!   ([`Limits`]) so a malicious peer can neither balloon memory nor hold
+//!   a worker forever (socket read timeouts surface as
+//!   [`NetError::Timeout`]).
+//! * **Responses** either carry a `Content-Length` ([`write_response`])
+//!   or stream until close ([`ResponseStream`]) — every response says
+//!   `Connection: close`, which keeps the framing trivial and makes the
+//!   *byte content* of a streamed body independent of chunk timing (the
+//!   serve determinism contract is over body bytes).
+//! * **Clients** ([`http_request`]) issue one request and read the full
+//!   response; the load generator and CLI client are built on it.
+//!
+//! Unsupported on purpose: keep-alive, chunked ingest, HTTP/2, TLS. A
+//! request using them gets a clean typed rejection, not a hang.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Hard limits applied while reading a request.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` accepted.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// A typed failure while reading or parsing a request. The server maps
+/// each variant onto an HTTP status instead of dropping the connection.
+#[derive(Debug)]
+pub enum NetError {
+    /// The peer closed before sending a complete request.
+    Closed,
+    /// A socket read or write timed out (`408 Request Timeout`).
+    Timeout,
+    /// The request violates the protocol subset (`400 Bad Request`).
+    BadRequest(String),
+    /// A size limit was exceeded (`413 Content Too Large`).
+    TooLarge { what: &'static str, limit: usize },
+    /// Transport-level I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Closed => write!(f, "connection closed before a complete request"),
+            NetError::Timeout => write!(f, "socket operation timed out"),
+            NetError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            NetError::TooLarge { what, limit } => {
+                write!(f, "{what} exceeds the limit of {limit} bytes")
+            }
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => NetError::Timeout,
+            io::ErrorKind::UnexpectedEof => NetError::Closed,
+            _ => NetError::Io(e),
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercase as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target, percent-decoded.
+    pub path: String,
+    /// Query parameters in order of appearance, percent-decoded.
+    pub query: Vec<(String, String)>,
+    /// Headers in order of appearance; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Decodes `%XX` escapes and `+` (as space) in a URL component. Invalid
+/// escapes pass through verbatim — the server treats the target as opaque
+/// text, never as instructions.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| (b as char).to_digit(16);
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(h), Some(l)) => {
+                        out.push((h * 16 + l) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a request target into path and decoded query pairs.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let pairs = query
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect();
+    (percent_decode(path), pairs)
+}
+
+/// Reads one HTTP/1.1 request from `stream` under `limits`.
+///
+/// Returns [`NetError::Closed`] if the peer disconnected before sending a
+/// full request head, which the accept loop treats as a non-event.
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, NetError> {
+    let mut reader = BufReader::new(stream);
+    // Head: everything through the blank line, capped.
+    let mut head: Vec<u8> = Vec::with_capacity(512);
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Err(NetError::Closed);
+        }
+        let take = buf.len().min(limits.max_head_bytes + 1 - head.len().min(limits.max_head_bytes));
+        // Find end-of-head within what we have so far + this chunk.
+        let start = head.len();
+        head.extend_from_slice(&buf[..take]);
+        let scan_from = start.saturating_sub(3);
+        if let Some(pos) = find_subslice(&head[scan_from..], b"\r\n\r\n") {
+            let head_end = scan_from + pos + 4;
+            let consumed = head_end - start;
+            reader.consume(consumed);
+            head.truncate(head_end);
+            break;
+        }
+        reader.consume(take);
+        if head.len() > limits.max_head_bytes {
+            return Err(NetError::TooLarge {
+                what: "request head",
+                limit: limits.max_head_bytes,
+            });
+        }
+    }
+
+    let head_text = std::str::from_utf8(&head)
+        .map_err(|_| NetError::BadRequest("request head is not valid UTF-8".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(NetError::BadRequest(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(NetError::BadRequest(format!(
+            "unsupported protocol version `{version}`"
+        )));
+    }
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminating blank line
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(NetError::BadRequest(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(NetError::BadRequest(
+            "chunked request bodies are not supported; send Content-Length".into(),
+        ));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| NetError::BadRequest(format!("invalid Content-Length `{v}`")))?,
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(NetError::TooLarge {
+            what: "request body",
+            limit: limits.max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query) = parse_target(target);
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|w| w == needle)
+}
+
+/// Reason phrase for the status codes the server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with `Content-Length` framing. `extra`
+/// headers are emitted verbatim after the standard set.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(String, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nConnection: close\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason_phrase(status),
+        body.len()
+    );
+    for (k, v) in extra {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A response streamed as raw bytes until close (`Connection: close`, no
+/// `Content-Length`) — how partition responses stream their JSONL lines
+/// without buffering the whole body.
+pub struct ResponseStream<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ResponseStream<'a> {
+    /// Writes the status line and headers; body bytes follow via
+    /// [`ResponseStream::write_line`].
+    pub fn begin(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+        extra: &[(String, String)],
+    ) -> io::Result<ResponseStream<'a>> {
+        let mut head = format!(
+            "HTTP/1.1 {status} {}\r\nConnection: close\r\nContent-Type: {content_type}\r\n",
+            reason_phrase(status),
+        );
+        for (k, v) in extra {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        Ok(ResponseStream { stream })
+    }
+
+    /// Streams one body line (the newline is appended here, so callers
+    /// hand over exactly one JSONL record at a time).
+    pub fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")
+    }
+
+    /// Flushes the stream (the body ends when the connection closes).
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+/// A complete client-side view of one HTTP exchange.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Full response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issues one HTTP/1.1 request (`Connection: close`) and reads the full
+/// response. `timeout` bounds connect and each socket read/write.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    target: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Option<Duration>,
+) -> io::Result<ClientResponse> {
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+    let mut stream = match timeout {
+        Some(t) => TcpStream::connect_timeout(&sock_addr, t)?,
+        None => TcpStream::connect(sock_addr)?,
+    };
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let mut head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let head_end = find_subslice(&raw, b"\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated response head"))?;
+    let head_text = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+    let mut lines = head_text.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line `{status_line}`"),
+            )
+        })?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let mut body = raw.split_off(head_end + 4);
+    // Trim to Content-Length when present (streamed responses have none
+    // and end at connection close).
+    if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        body.truncate(len);
+    }
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(request_bytes: &[u8], limits: Limits) -> Result<Request, NetError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let bytes = request_bytes.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&bytes).unwrap();
+            s.flush().unwrap();
+            // Half-close so a server waiting for more head bytes sees EOF
+            // instead of deadlocking against our read below.
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let r = read_request(&mut stream, &limits);
+        drop(stream);
+        client.join().unwrap();
+        r
+    }
+
+    #[test]
+    fn parses_request_with_query_and_body() {
+        let req = roundtrip(
+            b"POST /partition?k=8&tol=0.05&spec=gen%3Amrng%3A100 HTTP/1.1\r\n\
+              Host: x\r\nContent-Type: text/plain\r\nContent-Length: 5\r\n\r\nhello",
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/partition");
+        assert_eq!(req.query_param("k"), Some("8"));
+        assert_eq!(req.query_param("tol"), Some("0.05"));
+        assert_eq!(req.query_param("spec"), Some("gen:mrng:100"));
+        assert_eq!(req.header("content-type"), Some("text/plain"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            assert!(
+                matches!(roundtrip(bad, Limits::default()), Err(NetError::BadRequest(_))),
+                "{:?} should be a bad request",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn enforces_head_and_body_limits() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let big_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        assert!(matches!(
+            roundtrip(big_head.as_bytes(), limits),
+            Err(NetError::TooLarge { what: "request head", .. })
+        ));
+        assert!(matches!(
+            roundtrip(
+                b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n",
+                limits
+            ),
+            Err(NetError::TooLarge { what: "request body", .. })
+        ));
+    }
+
+    #[test]
+    fn early_close_is_closed_not_parse_error() {
+        assert!(matches!(
+            roundtrip(b"", Limits::default()),
+            Err(NetError::Closed)
+        ));
+        assert!(matches!(
+            roundtrip(b"GET /x HT", Limits::default()),
+            Err(NetError::Closed)
+        ));
+    }
+
+    #[test]
+    fn client_and_server_roundtrip_fixed_and_streamed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let req = read_request(&mut stream, &Limits::default()).unwrap();
+                if req.path == "/fixed" {
+                    write_response(
+                        &mut stream,
+                        200,
+                        "application/json",
+                        &[("X-Test".to_string(), "yes".to_string())],
+                        b"{\"ok\":true}",
+                    )
+                    .unwrap();
+                } else {
+                    let mut s =
+                        ResponseStream::begin(&mut stream, 200, "application/jsonl", &[]).unwrap();
+                    s.write_line("{\"line\":1}").unwrap();
+                    s.write_line("{\"line\":2}").unwrap();
+                    s.finish().unwrap();
+                }
+            }
+        });
+        let r = http_request(&addr, "GET", "/fixed", &[], b"", None).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("x-test"), Some("yes"));
+        assert_eq!(r.body, b"{\"ok\":true}");
+        let r = http_request(&addr, "GET", "/stream", &[], b"", None).unwrap();
+        assert_eq!(r.text(), "{\"line\":1}\n{\"line\":2}\n");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn percent_decoding_handles_escapes_and_garbage() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("gen%3Amrng%3A100"), "gen:mrng:100");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

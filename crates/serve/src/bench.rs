@@ -1,0 +1,277 @@
+//! The load generator behind `mcgp bench serve`.
+//!
+//! Self-contained: binds an in-process [`crate::Server`] on an ephemeral
+//! loopback port, generates one mesh, serialises it to METIS text once,
+//! and hammers the daemon from N client threads over real sockets with a
+//! deterministic cold/warm request mix. Cold requests carry a unique
+//! seed (fresh fingerprint, full coarsen); warm requests share one seed
+//! and cycle `k`, so after a priming request they all hit the hierarchy
+//! cache. Requests are classified by the daemon's own `X-Mcgp-Cache`
+//! verdict, never by guesswork.
+//!
+//! Output is JSONL on the provided writer, one row per class
+//! (`serve_cold_*`, `serve_warm_*`, `serve_mixed_*`), each carrying the
+//! `bench`/`samples`/`median_s`/`min_s`/`max_s` fields `mcgp
+//! bench-check` validates plus `p50_s`/`p99_s` latency quantiles; the
+//! mixed row adds end-to-end throughput (`rps`). While running, the
+//! generator also cross-checks the determinism contract: two responses
+//! to an identical request must be byte-identical, cold or warm.
+
+use crate::cache::fnv1a;
+use crate::server::{ServeConfig, Server};
+use mcgp_graph::generators::mrng_like;
+use mcgp_graph::io::write_metis;
+use mcgp_runtime::net::http_request;
+use mcgp_runtime::Json;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load-test shape. Defaults reproduce the checked-in `BENCH_serve.json`:
+/// the 200k mesh of the bench suite, 2 clients, every 6th request cold.
+#[derive(Clone, Debug)]
+pub struct BenchServeConfig {
+    /// Mesh size (vertices) of the generated graph.
+    pub nvtxs: usize,
+    /// Total timed requests across all clients.
+    pub requests: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Every `cold_every`-th request uses a fresh seed (cache miss).
+    pub cold_every: usize,
+    /// Server worker threads.
+    pub workers: usize,
+}
+
+impl Default for BenchServeConfig {
+    fn default() -> Self {
+        BenchServeConfig {
+            nvtxs: 200_000,
+            requests: 24,
+            clients: 2,
+            cold_every: 6,
+            workers: 2,
+        }
+    }
+}
+
+struct Sample {
+    seconds: f64,
+    hit: bool,
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn latency_row(name: &str, samples: &mut [f64], extra: Vec<(String, Json)>) -> String {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut pairs = vec![
+        ("bench".to_string(), Json::Str(name.into())),
+        ("samples".to_string(), Json::UInt(samples.len() as u64)),
+        ("median_s".to_string(), Json::Float(quantile(samples, 0.5))),
+        ("min_s".to_string(), Json::Float(samples[0])),
+        (
+            "max_s".to_string(),
+            Json::Float(samples[samples.len() - 1]),
+        ),
+        ("p50_s".to_string(), Json::Float(quantile(samples, 0.5))),
+        ("p99_s".to_string(), Json::Float(quantile(samples, 0.99))),
+    ];
+    pairs.extend(extra);
+    Json::Obj(pairs).to_string()
+}
+
+/// Runs the load test and writes the JSONL report to `out`. Progress
+/// goes to stderr; the report alone goes to the writer so callers can
+/// redirect it straight into `BENCH_serve.json`.
+pub fn run_serve_bench(cfg: &BenchServeConfig, out: &mut dyn Write) -> io::Result<()> {
+    assert!(cfg.requests >= 2 && cfg.clients >= 1 && cfg.cold_every >= 2);
+    eprintln!(
+        "bench serve: generating mrng mesh, nvtxs={} ...",
+        cfg.nvtxs
+    );
+    let graph = mrng_like(cfg.nvtxs, 5);
+    let mut body = Vec::new();
+    write_metis(&graph, &mut body).map_err(|e| io::Error::other(e.to_string()))?;
+
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: cfg.workers,
+        ..ServeConfig::default()
+    })?;
+    let addr = server.local_addr()?.to_string();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let timeout = Some(Duration::from_secs(600));
+    let warm_seed: u64 = 1;
+    let warm_k = [4usize, 8, 16];
+    // Prime the warm fingerprint so every timed warm request is a hit.
+    eprintln!("bench serve: priming warm hierarchy on {addr} ...");
+    let prime = http_request(
+        &addr,
+        "POST",
+        &format!("/partition?k=8&seed={warm_seed}"),
+        &[],
+        &body,
+        timeout,
+    )?;
+    if prime.status != 200 {
+        return Err(io::Error::other(format!(
+            "priming request failed: status {} body {}",
+            prime.status,
+            prime.text()
+        )));
+    }
+
+    eprintln!(
+        "bench serve: {} requests, {} clients, cold every {} ...",
+        cfg.requests, cfg.clients, cfg.cold_every
+    );
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+    // Responses to an identical request must be byte-identical whether
+    // they were served cold or warm: the determinism contract, enforced
+    // while load-testing.
+    let body_digests: Mutex<HashMap<(usize, u64), u64>> = Mutex::new(HashMap::new());
+    let t_start = Instant::now();
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for client in 0..cfg.clients {
+            let addr = &addr;
+            let body = &body;
+            let samples = &samples;
+            let body_digests = &body_digests;
+            let failure = &failure;
+            let warm_k = &warm_k;
+            scope.spawn(move || {
+                let mut i = client;
+                while i < cfg.requests {
+                    let cold = i % cfg.cold_every == 0;
+                    let seed = if cold { 1000 + i as u64 } else { warm_seed };
+                    let k = warm_k[i % warm_k.len()];
+                    let target = format!("/partition?k={k}&seed={seed}");
+                    let t0 = Instant::now();
+                    let resp = match http_request(addr, "POST", &target, &[], body, timeout) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            *failure.lock().unwrap() =
+                                Some(format!("request {i} failed: {e}"));
+                            return;
+                        }
+                    };
+                    let seconds = t0.elapsed().as_secs_f64();
+                    if resp.status != 200 {
+                        *failure.lock().unwrap() = Some(format!(
+                            "request {i} got status {}: {}",
+                            resp.status,
+                            resp.text()
+                        ));
+                        return;
+                    }
+                    let hit = resp.header("x-mcgp-cache") == Some("hit");
+                    let digest = fnv1a(0xcbf2_9ce4_8422_2325, &resp.body);
+                    let prior = body_digests.lock().unwrap().insert((k, seed), digest);
+                    if let Some(prior) = prior {
+                        if prior != digest {
+                            *failure.lock().unwrap() = Some(format!(
+                                "determinism violation: k={k} seed={seed} bodies differ"
+                            ));
+                            return;
+                        }
+                    }
+                    samples.lock().unwrap().push(Sample { seconds, hit });
+                    i += cfg.clients;
+                }
+            });
+        }
+    });
+    let wall_s = t_start.elapsed().as_secs_f64();
+
+    handle.shutdown();
+    server_thread
+        .join()
+        .map_err(|_| io::Error::other("server thread panicked"))??;
+    if let Some(msg) = failure.lock().unwrap().take() {
+        return Err(io::Error::other(msg));
+    }
+
+    let samples = samples.into_inner().unwrap();
+    let mut cold: Vec<f64> = samples.iter().filter(|s| !s.hit).map(|s| s.seconds).collect();
+    let mut warm: Vec<f64> = samples.iter().filter(|s| s.hit).map(|s| s.seconds).collect();
+    if cold.is_empty() || warm.is_empty() {
+        return Err(io::Error::other(format!(
+            "degenerate mix: {} cold / {} warm samples",
+            cold.len(),
+            warm.len()
+        )));
+    }
+    let mut all: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+    let label = format!("mrng{}", cfg.nvtxs);
+    writeln!(out, "{}", latency_row(&format!("serve_cold_{label}"), &mut cold, vec![]))?;
+    writeln!(out, "{}", latency_row(&format!("serve_warm_{label}"), &mut warm, vec![]))?;
+    writeln!(
+        out,
+        "{}",
+        latency_row(
+            &format!("serve_mixed_{label}"),
+            &mut all,
+            vec![
+                ("rps".to_string(), Json::Float(samples.len() as f64 / wall_s)),
+                ("wall_s".to_string(), Json::Float(wall_s)),
+                ("clients".to_string(), Json::UInt(cfg.clients as u64)),
+                ("workers".to_string(), Json::UInt(cfg.workers as u64)),
+            ],
+        )
+    )?;
+    eprintln!(
+        "bench serve: cold median {:.3}s, warm median {:.3}s ({:.1}x), {:.2} req/s",
+        quantile(&cold, 0.5),
+        quantile(&warm, 0.5),
+        quantile(&cold, 0.5) / quantile(&warm, 0.5).max(1e-9),
+        samples.len() as f64 / wall_s
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_load_test_produces_valid_rows() {
+        let cfg = BenchServeConfig {
+            nvtxs: 600,
+            requests: 6,
+            clients: 2,
+            cold_every: 3,
+            workers: 2,
+        };
+        let mut out = Vec::new();
+        run_serve_bench(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let rows: Vec<Json> = text
+            .lines()
+            .map(|l| Json::parse(l).expect("row parses"))
+            .collect();
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            let samples = row.get("samples").unwrap().as_i64().unwrap();
+            assert!(samples >= 1);
+            let (min, med, max) = (
+                row.get("min_s").unwrap().as_f64().unwrap(),
+                row.get("median_s").unwrap().as_f64().unwrap(),
+                row.get("max_s").unwrap().as_f64().unwrap(),
+            );
+            assert!(min <= med && med <= max, "{row}");
+            assert!(row.get("p99_s").unwrap().as_f64().unwrap() >= med);
+        }
+        assert!(rows[0].get("bench").unwrap().as_str().unwrap().starts_with("serve_cold_"));
+        assert!(rows[2].get("rps").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,393 @@
+//! Graph fingerprinting and the bounded, coalescing hierarchy cache.
+//!
+//! The cache key is a 64-bit FNV-1a digest over everything coarsening
+//! consumes: the wire format tag, the raw request body bytes (hashed
+//! *before* parsing, so keying costs one linear scan), the seed, and the
+//! stripe count. Two requests with the same digest therefore share a
+//! coarsening hierarchy that is bit-identical to the one either would
+//! have built cold — `nparts` and the imbalance tolerance are
+//! deliberately *not* part of the key, which is the entire point.
+//!
+//! Concurrency: the first request for a key inserts a `Building`
+//! placeholder and coarsens outside the lock; concurrent requests for
+//! the same key wait on a condvar and share the finished entry instead
+//! of duplicating the work (request coalescing). A build that fails or
+//! panics removes its placeholder and wakes the waiters, one of which
+//! retries — an error never poisons the cache.
+//!
+//! Eviction is LRU over a byte budget, denominated in
+//! [`HierarchySnapshot::approx_bytes`] plus the resident graph. Ticks
+//! are assigned under the cache lock, so for any serial history of
+//! operations the eviction order is deterministic; the entry just
+//! inserted is never its own victim.
+
+use mcgp_core::HierarchySnapshot;
+use mcgp_graph::{Graph, McgpError};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::sync::Arc;
+
+use crate::protocol::GraphFormat;
+
+/// 64-bit FNV-1a over a byte slice, continuing from `h`.
+pub(crate) fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Content fingerprint of a partitioning request's coarsening inputs:
+/// format tag, raw body bytes, seed, stripe count. Everything initial
+/// partitioning and refinement consume beyond these (`k`, `ε`,
+/// refinement knobs) is free to vary per request.
+pub fn fingerprint(format: GraphFormat, body: &[u8], seed: u64, nthreads: usize) -> u64 {
+    let h = 0xcbf2_9ce4_8422_2325;
+    let h = fnv1a(h, &[format.tag()]);
+    let h = fnv1a(h, body);
+    let h = fnv1a(h, &seed.to_le_bytes());
+    fnv1a(h, &(nthreads as u64).to_le_bytes())
+}
+
+/// A cached graph plus its deep coarsening hierarchy.
+#[derive(Debug)]
+pub struct CachedEntry {
+    /// The parsed, validated input graph.
+    pub graph: Graph,
+    /// The recorded deep coarsening of [`Self::graph`].
+    pub snapshot: HierarchySnapshot,
+    bytes: usize,
+}
+
+/// Approximate resident bytes of a graph's CSR arrays.
+fn graph_bytes(g: &Graph) -> usize {
+    (g.nvtxs() + 1) * 8 + g.adjacency_len() * (4 + 8) + g.nvtxs() * g.ncon() * 8
+}
+
+impl CachedEntry {
+    /// Bundles a graph with its hierarchy and sizes the pair for the LRU
+    /// budget.
+    pub fn new(graph: Graph, snapshot: HierarchySnapshot) -> Self {
+        let bytes = graph_bytes(&graph) + snapshot.approx_bytes();
+        CachedEntry {
+            graph,
+            snapshot,
+            bytes,
+        }
+    }
+
+    /// Bytes this entry charges against the cache budget.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+enum Slot {
+    /// A request is coarsening this graph right now; wait, don't duplicate.
+    Building,
+    Ready(Arc<CachedEntry>),
+}
+
+#[derive(Default)]
+struct Inner {
+    /// key → (slot, last-touch tick).
+    map: HashMap<u64, (Slot, u64)>,
+    tick: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    evictions: u64,
+}
+
+/// Counters and occupancy of a [`HierarchyCache`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Ready entries resident.
+    pub entries: usize,
+    /// Bytes charged by resident entries.
+    pub bytes: usize,
+    /// Byte budget evictions keep [`Self::bytes`] under.
+    pub budget: usize,
+    /// Lookups served from a resident entry.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Lookups that waited for a concurrent build of the same key.
+    pub coalesced: u64,
+    /// Entries evicted to fit the budget.
+    pub evictions: u64,
+}
+
+/// Bounded LRU cache of coarsening hierarchies keyed by [`fingerprint`],
+/// with coalescing of concurrent builds.
+pub struct HierarchyCache {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    budget: usize,
+}
+
+impl HierarchyCache {
+    /// An empty cache that evicts to stay within `budget_bytes`.
+    pub fn new(budget_bytes: usize) -> Self {
+        HierarchyCache {
+            inner: Mutex::new(Inner::default()),
+            cond: Condvar::new(),
+            budget: budget_bytes,
+        }
+    }
+
+    /// Returns the entry for `key`, building it with `build` on a miss.
+    ///
+    /// The boolean is `true` when the caller paid no coarsening: a
+    /// resident hit, or a coalesced wait on another request's build. On
+    /// a build error the placeholder is removed (waiters retry with
+    /// their own closure) and the error is returned; a panicking build
+    /// likewise cleans up before the panic resumes.
+    pub fn get_or_build<F>(&self, key: u64, build: F) -> Result<(Arc<CachedEntry>, bool), McgpError>
+    where
+        F: FnOnce() -> Result<CachedEntry, McgpError>,
+    {
+        let mut build = Some(build);
+        let mut waited = false;
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            match g.map.get(&key) {
+                Some((Slot::Ready(e), _)) => {
+                    let e = e.clone();
+                    g.tick += 1;
+                    let t = g.tick;
+                    g.map.get_mut(&key).unwrap().1 = t;
+                    if waited {
+                        g.coalesced += 1;
+                    } else {
+                        g.hits += 1;
+                    }
+                    return Ok((e, true));
+                }
+                Some((Slot::Building, _)) => {
+                    waited = true;
+                    g = self.cond.wait(g).unwrap();
+                }
+                None => {
+                    g.tick += 1;
+                    let t = g.tick;
+                    g.map.insert(key, (Slot::Building, t));
+                    g.misses += 1;
+                    drop(g);
+                    let outcome = catch_unwind(AssertUnwindSafe(build.take().unwrap()));
+                    let mut g2 = self.inner.lock().unwrap();
+                    match outcome {
+                        Err(panic) => {
+                            g2.map.remove(&key);
+                            drop(g2);
+                            self.cond.notify_all();
+                            resume_unwind(panic);
+                        }
+                        Ok(Err(e)) => {
+                            g2.map.remove(&key);
+                            drop(g2);
+                            self.cond.notify_all();
+                            return Err(e);
+                        }
+                        Ok(Ok(entry)) => {
+                            let entry = Arc::new(entry);
+                            g2.bytes += entry.bytes();
+                            g2.tick += 1;
+                            let t = g2.tick;
+                            g2.map.insert(key, (Slot::Ready(entry.clone()), t));
+                            self.evict_over_budget(&mut g2, key);
+                            drop(g2);
+                            self.cond.notify_all();
+                            return Ok((entry, false));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evicts lowest-tick Ready entries (never `keep`, never a Building
+    /// placeholder) until the budget holds. Tick ties are impossible —
+    /// ticks are assigned under the lock — so the victim order is a
+    /// deterministic function of the operation history.
+    fn evict_over_budget(&self, g: &mut Inner, keep: u64) {
+        while g.bytes > self.budget {
+            let victim = g
+                .map
+                .iter()
+                .filter_map(|(k, (slot, t))| match slot {
+                    Slot::Ready(e) if *k != keep => Some((*t, *k, e.bytes())),
+                    _ => None,
+                })
+                .min();
+            match victim {
+                Some((_, k, b)) => {
+                    g.map.remove(&k);
+                    g.bytes -= b;
+                    g.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.inner.lock().unwrap();
+        CacheStats {
+            entries: g
+                .map
+                .values()
+                .filter(|(s, _)| matches!(s, Slot::Ready(_)))
+                .count(),
+            bytes: g.bytes,
+            budget: self.budget,
+            hits: g.hits,
+            misses: g.misses,
+            coalesced: g.coalesced,
+            evictions: g.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcgp_core::PartitionConfig;
+    use mcgp_graph::generators::mrng_like;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn entry(nvtxs: usize, seed: u64) -> CachedEntry {
+        let g = mrng_like(nvtxs, seed);
+        let snap = HierarchySnapshot::build(&g, &PartitionConfig::default());
+        CachedEntry::new(g, snap)
+    }
+
+    #[test]
+    fn fingerprint_separates_inputs_and_ignores_request_knobs() {
+        let a = fingerprint(GraphFormat::Metis, b"graph-a", 1, 1);
+        assert_eq!(a, fingerprint(GraphFormat::Metis, b"graph-a", 1, 1));
+        assert_ne!(a, fingerprint(GraphFormat::Metis, b"graph-b", 1, 1));
+        assert_ne!(a, fingerprint(GraphFormat::Metis, b"graph-a", 2, 1));
+        assert_ne!(a, fingerprint(GraphFormat::Metis, b"graph-a", 1, 2));
+        assert_ne!(a, fingerprint(GraphFormat::Json, b"graph-a", 1, 1));
+    }
+
+    #[test]
+    fn second_lookup_reuses_entry_without_building() {
+        let cache = HierarchyCache::new(usize::MAX);
+        let builds = AtomicUsize::new(0);
+        let build = || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            Ok(entry(400, 3))
+        };
+        let (e1, hit1) = cache.get_or_build(7, build).unwrap();
+        assert!(!hit1);
+        // A hit must not invoke the closure at all — different (k, ε)
+        // requests on the same fingerprint share the hierarchy.
+        let (e2, hit2) = cache
+            .get_or_build(7, || panic!("hit path must not build"))
+            .unwrap();
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&e1, &e2));
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn eviction_is_lru_and_spares_the_inserted_entry() {
+        // Three same-shape entries; budget fits two.
+        let probe = entry(400, 1);
+        let cache = HierarchyCache::new(probe.bytes() * 2 + probe.bytes() / 2);
+        cache.get_or_build(1, || Ok(entry(400, 1))).unwrap();
+        cache.get_or_build(2, || Ok(entry(400, 2))).unwrap();
+        assert_eq!(cache.stats().entries, 2);
+        // Touch 1 so 2 becomes least-recent, then insert 3.
+        cache.get_or_build(1, || unreachable!()).unwrap();
+        cache.get_or_build(3, || Ok(entry(400, 3))).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (2, 1));
+        // 2 was evicted; 1 and 3 are resident.
+        let (_, hit1) = cache.get_or_build(1, || unreachable!()).unwrap();
+        let (_, hit3) = cache.get_or_build(3, || unreachable!()).unwrap();
+        assert!(hit1 && hit3);
+        let rebuilt = AtomicUsize::new(0);
+        cache
+            .get_or_build(2, || {
+                rebuilt.fetch_add(1, Ordering::SeqCst);
+                Ok(entry(400, 2))
+            })
+            .unwrap();
+        assert_eq!(rebuilt.load(Ordering::SeqCst), 1, "2 must rebuild");
+    }
+
+    #[test]
+    fn tiny_budget_keeps_only_the_latest_entry() {
+        let cache = HierarchyCache::new(1);
+        cache.get_or_build(1, || Ok(entry(300, 1))).unwrap();
+        assert_eq!(cache.stats().entries, 1, "just-inserted entry survives");
+        cache.get_or_build(2, || Ok(entry(300, 2))).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (1, 1));
+        let (_, hit) = cache.get_or_build(2, || unreachable!()).unwrap();
+        assert!(hit, "latest entry is the resident one");
+    }
+
+    #[test]
+    fn failed_build_leaves_no_residue() {
+        let cache = HierarchyCache::new(usize::MAX);
+        let err = cache
+            .get_or_build(9, || Err(McgpError::Malformed("nope".into())))
+            .unwrap_err();
+        assert!(matches!(err, McgpError::Malformed(_)));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.bytes), (0, 0));
+        // The key is buildable afterwards.
+        let (_, hit) = cache.get_or_build(9, || Ok(entry(300, 9))).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn panicking_build_cleans_up_and_cache_stays_usable() {
+        let cache = HierarchyCache::new(usize::MAX);
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            let _ = cache.get_or_build(5, || panic!("builder bug"));
+        }));
+        assert!(boom.is_err());
+        assert_eq!(cache.stats().entries, 0);
+        let (_, hit) = cache.get_or_build(5, || Ok(entry(300, 5))).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn concurrent_same_key_lookups_coalesce() {
+        let cache = Arc::new(HierarchyCache::new(usize::MAX));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cache = cache.clone();
+            let builds = builds.clone();
+            handles.push(std::thread::spawn(move || {
+                let (_, reused) = cache
+                    .get_or_build(11, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        // Hold the Building slot long enough for the
+                        // other threads to arrive and wait.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        Ok(entry(400, 11))
+                    })
+                    .unwrap();
+                reused
+            }));
+        }
+        let reused: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one build");
+        assert_eq!(reused.iter().filter(|&&r| !r).count(), 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

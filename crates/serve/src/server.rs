@@ -1,0 +1,532 @@
+//! The partitioning daemon: accept loop, worker pool, routing, metrics,
+//! graceful drain.
+//!
+//! One `Connection: close` HTTP exchange per connection, handled on a
+//! fixed pool of worker threads fed from an accept queue. The accept
+//! loop polls a shutdown latch (set by `POST /shutdown` or by
+//! SIGINT/SIGTERM via [`crate::signal`]) between non-blocking accepts;
+//! on shutdown it stops accepting, the workers drain the queue, and
+//! [`Server::run`] returns — in-flight requests always finish.
+//!
+//! Endpoints:
+//!
+//! - `POST /partition?k=&tol=&seed=&threads=` — body is the graph
+//!   (METIS text, or JSON-CSR under `Content-Type: application/json`).
+//!   Streams a JSONL body (`meta`, `part`×, `done`); cache verdict and
+//!   timings ride in `X-Mcgp-*` headers (see [`crate::protocol`]).
+//! - `GET /metrics` — counters, cache occupancy, latency histogram,
+//!   accumulated phase report, and the trace-gated named-metrics
+//!   registry, as one JSON object.
+//! - `GET /healthz` — liveness probe.
+//! - `POST /shutdown` — graceful drain, same path as a signal.
+//!
+//! Failure containment: malformed inputs produce typed error bodies
+//! ([`crate::protocol::RequestError`]); a partitioner panic is caught,
+//! answered with a 500, and never takes down the daemon or poisons the
+//! hierarchy cache.
+
+use crate::cache::{fingerprint, CacheStats, CachedEntry, HierarchyCache};
+use crate::protocol::{
+    done_line, meta_line, part_line, GraphFormat, PartitionParams, RequestError, PART_CHUNK,
+};
+use crate::signal;
+use mcgp_core::{HierarchySnapshot, PartitionConfig, PartitionResult};
+use mcgp_graph::check::check_graph;
+use mcgp_graph::io::{graph_from_json, read_metis};
+use mcgp_graph::{CheckLevel, McgpError};
+use mcgp_runtime::metrics::{Histogram, MetricsReport};
+use mcgp_runtime::net::{
+    read_request, write_response, Limits, NetError, Request, ResponseStream,
+};
+use mcgp_runtime::phase::{Counter, Phase, PhaseReport};
+use mcgp_runtime::trace::{self, TraceEvent};
+use mcgp_runtime::{Json, ToJson};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Retained trace events are capped so a long-lived daemon with tracing
+/// enabled cannot grow without bound.
+const TRACE_EVENT_CAP: usize = 100_000;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Hierarchy-cache byte budget.
+    pub cache_bytes: usize,
+    /// Socket read/write timeout per operation (408 on expiry).
+    pub io_timeout: Duration,
+    /// Request head/body size limits.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7699".into(),
+            workers: 2,
+            cache_bytes: 256 * 1024 * 1024,
+            io_timeout: Duration::from_secs(30),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Always-on daemon counters (the trace-gated named-metrics registry is
+/// aggregated separately).
+#[derive(Default)]
+struct ServeStats {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    latency_us: Mutex<Histogram>,
+    phases: Mutex<PhaseReport>,
+    registry: Mutex<MetricsReport>,
+    trace_events: Mutex<Vec<TraceEvent>>,
+}
+
+impl ServeStats {
+    fn record_ok(&self, latency_us: Option<u64>) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.ok.fetch_add(1, Ordering::Relaxed);
+        if let Some(us) = latency_us {
+            self.latency_us.lock().unwrap().record(us as i64);
+        }
+    }
+
+    fn record_error(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct State {
+    config: ServeConfig,
+    cache: HierarchyCache,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+    seq: AtomicU64,
+}
+
+impl State {
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::raised()
+    }
+}
+
+/// A cloneable handle onto a running (or stopped) server: shutdown,
+/// metrics, trace drainage. The in-process bench and the CLI use this;
+/// remote clients use `POST /shutdown` and `GET /metrics`.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<State>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful drain; [`Server::run`] returns once in-flight
+    /// work finishes.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Hierarchy-cache counters and occupancy.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.state.cache.stats()
+    }
+
+    /// The same JSON document `GET /metrics` serves.
+    pub fn metrics_json(&self) -> Json {
+        metrics_json(&self.state)
+    }
+
+    /// Drains trace events retained from traced requests (empty unless
+    /// tracing is enabled).
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.state.trace_events_lock())
+    }
+}
+
+impl State {
+    fn trace_events_lock(&self) -> std::sync::MutexGuard<'_, Vec<TraceEvent>> {
+        self.stats.trace_events.lock().unwrap()
+    }
+}
+
+/// The daemon. [`Server::bind`] claims the socket (so callers can learn
+/// an ephemeral port before serving); [`Server::run`] serves until
+/// shutdown.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds the listen socket and initialises the cache; serves nothing
+    /// until [`Server::run`].
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(State {
+            cache: HierarchyCache::new(config.cache_bytes),
+            stats: ServeStats::default(),
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            config,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (the actual port when 0 was requested).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for shutdown and metrics, usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: self.state.clone(),
+        }
+    }
+
+    /// Serves until a graceful shutdown is requested (handle, signal, or
+    /// `POST /shutdown`), then drains queued connections and returns.
+    pub fn run(self) -> io::Result<()> {
+        let Server { listener, state } = self;
+        listener.set_nonblocking(true)?;
+        let queue: Mutex<(VecDeque<TcpStream>, bool)> = Mutex::new((VecDeque::new(), false));
+        let available = Condvar::new();
+        std::thread::scope(|scope| {
+            for _ in 0..state.config.workers.max(1) {
+                let state = &state;
+                let queue = &queue;
+                let available = &available;
+                scope.spawn(move || loop {
+                    let conn = {
+                        let mut g = queue.lock().unwrap();
+                        loop {
+                            if let Some(c) = g.0.pop_front() {
+                                break Some(c);
+                            }
+                            if g.1 {
+                                break None;
+                            }
+                            g = available.wait(g).unwrap();
+                        }
+                    };
+                    match conn {
+                        Some(stream) => handle_connection(state, stream),
+                        None => return,
+                    }
+                });
+            }
+            loop {
+                if state.shutdown_requested() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        queue.lock().unwrap().0.push_back(stream);
+                        available.notify_one();
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            // Drain: no new accepts; workers finish what is queued.
+            queue.lock().unwrap().1 = true;
+            available.notify_all();
+        });
+        Ok(())
+    }
+}
+
+fn handle_connection(state: &State, mut stream: TcpStream) {
+    let t0 = Instant::now();
+    let _ = stream.set_read_timeout(Some(state.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.io_timeout));
+    match read_request(&mut stream, &state.config.limits) {
+        // Nothing arrived (port scan, probe, client gave up): not a request.
+        Err(NetError::Closed) => {}
+        Err(e) => {
+            state.stats.record_error();
+            let (status, kind) = match &e {
+                NetError::Timeout => (408, "timeout"),
+                NetError::TooLarge { .. } => (413, "too_large"),
+                _ => (400, "bad_request"),
+            };
+            let body = error_body(kind, &e.to_string());
+            let _ = write_response(&mut stream, status, "application/json", &[], body.as_bytes());
+        }
+        Ok(req) => route(state, &mut stream, req, t0),
+    }
+    drain_observability(state);
+}
+
+fn error_body(kind: &str, detail: &str) -> String {
+    let mut line = Json::obj([
+        ("type", Json::Str("error".into())),
+        ("kind", Json::Str(kind.into())),
+        ("detail", Json::Str(detail.into())),
+    ])
+    .to_string();
+    line.push('\n');
+    line
+}
+
+fn route(state: &State, stream: &mut TcpStream, req: Request, t0: Instant) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/partition") => handle_partition(state, stream, req, t0),
+        ("GET", "/metrics") => {
+            let mut body = metrics_json(state).to_string();
+            body.push('\n');
+            state.stats.record_ok(None);
+            let _ = write_response(stream, 200, "application/json", &[], body.as_bytes());
+        }
+        ("GET", "/healthz") => {
+            state.stats.record_ok(None);
+            let _ = write_response(stream, 200, "application/json", &[], b"{\"ok\":true}\n");
+        }
+        ("POST", "/shutdown") => {
+            state.stats.record_ok(None);
+            let _ = write_response(
+                stream,
+                200,
+                "application/json",
+                &[],
+                b"{\"draining\":true}\n",
+            );
+            state.shutdown.store(true, Ordering::SeqCst);
+        }
+        (_, "/partition" | "/metrics" | "/healthz" | "/shutdown") => {
+            state.stats.record_error();
+            let body = error_body("method_not_allowed", &format!("{} not allowed here", req.method));
+            let _ = write_response(stream, 405, "application/json", &[], body.as_bytes());
+        }
+        (_, path) => {
+            state.stats.record_error();
+            let body = error_body("not_found", &format!("no such endpoint: {path}"));
+            let _ = write_response(stream, 404, "application/json", &[], body.as_bytes());
+        }
+    }
+}
+
+/// Parse + validate + coarsen (through the cache) + partition. Runs on
+/// the worker thread inside a `PhaseReport::capture`, so coarsening time
+/// lands in the report exactly when this request paid for it.
+fn compute(
+    state: &State,
+    fp: u64,
+    format: GraphFormat,
+    body: &[u8],
+    p: &PartitionParams,
+) -> Result<(Arc<CachedEntry>, bool, PartitionResult), RequestError> {
+    let (entry, reused) = state
+        .cache
+        .get_or_build(fp, || {
+            let graph = match format {
+                GraphFormat::Metis => read_metis(body)?,
+                GraphFormat::Json => {
+                    let text = std::str::from_utf8(body).map_err(|e| McgpError::Parse {
+                        line: 0,
+                        col: 0,
+                        msg: format!("body is not UTF-8: {e}"),
+                    })?;
+                    graph_from_json(text)?
+                }
+            };
+            // The input layer's invariant catalogue, always at least Cheap
+            // regardless of build profile: the daemon trusts no client.
+            check_graph(&graph, CheckLevel::Cheap)?;
+            let cfg = PartitionConfig {
+                seed: p.seed,
+                nthreads: p.nthreads,
+                ..PartitionConfig::default()
+            };
+            let snapshot = HierarchySnapshot::build(&graph, &cfg);
+            Ok(CachedEntry::new(graph, snapshot))
+        })
+        .map_err(RequestError::Graph)?;
+    if p.nparts > entry.graph.nvtxs() {
+        return Err(RequestError::Param(format!(
+            "k={} exceeds the graph's {} vertices",
+            p.nparts,
+            entry.graph.nvtxs()
+        )));
+    }
+    let cfg = PartitionConfig {
+        seed: p.seed,
+        nthreads: p.nthreads,
+        imbalance_tol: p.tol,
+        ..PartitionConfig::default()
+    };
+    let result = entry.snapshot.partition(&entry.graph, p.nparts, &cfg);
+    Ok((entry, reused, result))
+}
+
+fn handle_partition(state: &State, stream: &mut TcpStream, req: Request, t0: Instant) {
+    let seq = state.seq.fetch_add(1, Ordering::Relaxed);
+    let params = match PartitionParams::from_request(&req) {
+        Ok(p) => p,
+        Err(msg) => return finish_error(state, stream, &RequestError::Param(msg)),
+    };
+    let format = GraphFormat::from_request(&req);
+    let fp = fingerprint(format, &req.body, params.seed, params.nthreads);
+    let trace_id = format!("{fp:016x}-{seq:06}");
+    let mut span = mcgp_runtime::span!(
+        "serve_request",
+        fp = fp,
+        seq = seq,
+        k = params.nparts,
+        seed = params.seed,
+        threads = params.nthreads,
+    );
+    let computed = catch_unwind(AssertUnwindSafe(|| {
+        PhaseReport::capture(|| compute(state, fp, format, &req.body, &params))
+    }));
+    let (outcome, report) = match computed {
+        Ok(v) => v,
+        Err(_) => {
+            span.record("outcome", "panic");
+            let err = RequestError::Internal(
+                "partitioner panicked on this request; the daemon survives".into(),
+            );
+            return finish_error(state, stream, &err);
+        }
+    };
+    match outcome {
+        Err(err) => {
+            span.record("outcome", err.parts().1);
+            finish_error(state, stream, &err);
+        }
+        Ok((entry, reused, result)) => {
+            state.stats.phases.lock().unwrap().merge(&report);
+            let coarsen_us = (report.seconds(Phase::Coarsen) * 1e6).round() as u64;
+            let total_us = t0.elapsed().as_micros() as u64;
+            span.record("outcome", if reused { "hit" } else { "miss" });
+            span.record("coarsen_us", coarsen_us);
+            span.record("edge_cut", result.quality.edge_cut);
+            let headers = [
+                (
+                    "X-Mcgp-Cache".to_string(),
+                    if reused { "hit" } else { "miss" }.to_string(),
+                ),
+                ("X-Mcgp-Trace-Id".to_string(), trace_id),
+                ("X-Mcgp-Coarsen-Us".to_string(), coarsen_us.to_string()),
+                ("X-Mcgp-Total-Us".to_string(), total_us.to_string()),
+            ];
+            match write_success(stream, &headers, fp, &params, &entry, &result) {
+                Ok(()) => state.stats.record_ok(Some(total_us)),
+                // The response could not be delivered (client went away):
+                // the work succeeded but the request did not.
+                Err(_) => state.stats.record_error(),
+            }
+        }
+    }
+}
+
+fn finish_error(state: &State, stream: &mut TcpStream, err: &RequestError) {
+    state.stats.record_error();
+    let (status, _, _) = err.parts();
+    let _ = write_response(
+        stream,
+        status,
+        "application/json",
+        &[],
+        err.body().as_bytes(),
+    );
+}
+
+fn write_success(
+    stream: &mut TcpStream,
+    headers: &[(String, String)],
+    fp: u64,
+    params: &PartitionParams,
+    entry: &CachedEntry,
+    result: &PartitionResult,
+) -> io::Result<()> {
+    let g = &entry.graph;
+    let mut rs = ResponseStream::begin(stream, 200, "application/x-ndjson", headers)?;
+    rs.write_line(&meta_line(
+        fp,
+        params,
+        g.nvtxs(),
+        g.adjacency_len() / 2,
+        g.ncon(),
+        result.coarsen_levels,
+    ))?;
+    let assignment = result.partition.assignment();
+    let mut off = 0;
+    while off < assignment.len() {
+        let end = (off + PART_CHUNK).min(assignment.len());
+        rs.write_line(&part_line(off, &assignment[off..end]))?;
+        off = end;
+    }
+    rs.write_line(&done_line(&result.quality))?;
+    rs.finish()
+}
+
+/// After each connection: forward this worker's trace-gated registries
+/// into the daemon-wide aggregates so `/metrics` sees them.
+fn drain_observability(state: &State) {
+    if !trace::enabled() {
+        return;
+    }
+    let registry = mcgp_runtime::metrics::take_local();
+    if !registry.is_empty() {
+        state.stats.registry.lock().unwrap().merge(&registry);
+    }
+    let events = trace::take_local();
+    if !events.is_empty() {
+        let mut retained = state.stats.trace_events.lock().unwrap();
+        let room = TRACE_EVENT_CAP.saturating_sub(retained.len());
+        retained.extend(events.into_iter().take(room));
+    }
+}
+
+fn metrics_json(state: &State) -> Json {
+    let stats = &state.stats;
+    let cache = state.cache.stats();
+    let latency = stats.latency_us.lock().unwrap().clone();
+    let phases = stats.phases.lock().unwrap().clone();
+    let registry = stats.registry.lock().unwrap().clone();
+    let mut phase_pairs: Vec<(String, Json)> = Phase::ALL
+        .iter()
+        .map(|&p| (format!("{}_s", p.name()), Json::Float(phases.seconds(p))))
+        .collect();
+    for &c in Counter::ALL {
+        phase_pairs.push((c.name().to_string(), Json::UInt(phases.counter(c))));
+    }
+    Json::obj([
+        (
+            "requests",
+            Json::UInt(stats.requests.load(Ordering::Relaxed)),
+        ),
+        ("ok", Json::UInt(stats.ok.load(Ordering::Relaxed))),
+        ("errors", Json::UInt(stats.errors.load(Ordering::Relaxed))),
+        (
+            "cache",
+            Json::obj([
+                ("entries", Json::UInt(cache.entries as u64)),
+                ("bytes", Json::UInt(cache.bytes as u64)),
+                ("budget", Json::UInt(cache.budget as u64)),
+                ("hits", Json::UInt(cache.hits)),
+                ("misses", Json::UInt(cache.misses)),
+                ("coalesced", Json::UInt(cache.coalesced)),
+                ("evictions", Json::UInt(cache.evictions)),
+            ]),
+        ),
+        ("latency_us", latency.to_json()),
+        ("phases", Json::Obj(phase_pairs)),
+        ("registry", registry.to_json()),
+    ])
+}

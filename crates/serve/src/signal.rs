@@ -1,0 +1,43 @@
+//! SIGINT/SIGTERM latching for graceful shutdown.
+//!
+//! The daemon's accept loop polls [`raised`] between accepts; a signal
+//! therefore turns into the same graceful-drain path as `POST /shutdown`
+//! (stop accepting, finish queued requests, exit 0) instead of killing
+//! in-flight work. The handler does nothing but store to an atomic —
+//! the only thing that is async-signal-safe to do.
+//!
+//! Hermetic policy: no `libc` crate; `signal(2)` is declared directly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static RAISED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn latch(_signum: i32) {
+    RAISED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the latching handler for SIGINT (2) and SIGTERM (15).
+/// Idempotent; a no-op on non-Unix targets.
+pub fn install() {
+    #[cfg(unix)]
+    unsafe {
+        signal(2, latch);
+        signal(15, latch);
+    }
+}
+
+/// True once any handled signal has arrived.
+pub fn raised() -> bool {
+    RAISED.load(Ordering::SeqCst)
+}
+
+// The latch is process-global and deliberately has no reset, so its test
+// lives in its own integration-test process (`tests/signal_latch.rs`):
+// raising SIGTERM here would gracefully shut down every server other
+// unit tests in this process are running.

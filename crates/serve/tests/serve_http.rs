@@ -1,0 +1,351 @@
+//! End-to-end tests of the daemon over real loopback sockets: hierarchy
+//! cache semantics (a warm request is bit-identical to its cold run and
+//! to the library), and protocol robustness (the malformed-graph corpus
+//! over the wire returns typed errors and never kills the daemon or
+//! poisons the cache).
+
+use mcgp_check::corpus::{ExpectedError, MALFORMED_GRAPHS};
+use mcgp_core::{partition_kway, PartitionConfig};
+use mcgp_graph::generators::mrng_like;
+use mcgp_graph::io::write_metis;
+use mcgp_graph::{synthetic, Graph};
+use mcgp_runtime::net::{http_request, ClientResponse, Limits};
+use mcgp_runtime::Json;
+use mcgp_serve::server::{ServeConfig, Server};
+use mcgp_serve::ServerHandle;
+use std::io::{Read, Write};
+use std::time::Duration;
+
+type ServerThread = std::thread::JoinHandle<std::io::Result<()>>;
+
+fn start(config: ServeConfig) -> (String, ServerHandle, ServerThread) {
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    (addr, handle, thread)
+}
+
+fn start_default() -> (String, ServerHandle, ServerThread) {
+    start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+}
+
+fn stop(handle: &ServerHandle, thread: ServerThread) {
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+fn metis_bytes(g: &Graph) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_metis(g, &mut out).unwrap();
+    out
+}
+
+fn post(addr: &str, target: &str, body: &[u8]) -> ClientResponse {
+    http_request(addr, "POST", target, &[], body, Some(Duration::from_secs(120))).unwrap()
+}
+
+fn get(addr: &str, target: &str) -> ClientResponse {
+    http_request(addr, "GET", target, &[], b"", Some(Duration::from_secs(30))).unwrap()
+}
+
+/// Parses a success body into (meta, assignment, done).
+fn parse_body(text: &str) -> (Json, Vec<u32>, Json) {
+    let mut lines = text.lines();
+    let meta = Json::parse(lines.next().expect("meta line")).unwrap();
+    assert_eq!(meta.get("type").unwrap().as_str(), Some("meta"));
+    let mut parts: Vec<u32> = Vec::new();
+    let mut done = None;
+    for line in lines {
+        let doc = Json::parse(line).unwrap();
+        match doc.get("type").unwrap().as_str().unwrap() {
+            "part" => {
+                let offset = doc.get("offset").unwrap().as_i64().unwrap() as usize;
+                assert_eq!(offset, parts.len(), "part lines in order");
+                parts.extend(
+                    doc.get("parts")
+                        .unwrap()
+                        .as_arr()
+                        .unwrap()
+                        .iter()
+                        .map(|p| p.as_i64().unwrap() as u32),
+                );
+            }
+            "done" => done = Some(doc),
+            other => panic!("unexpected body line type: {other}"),
+        }
+    }
+    (meta, parts, done.expect("done line"))
+}
+
+#[test]
+fn warm_requests_are_bit_identical_and_match_the_library() {
+    let graph = synthetic::type1(&mrng_like(1500, 7), 2, 7);
+    let body = metis_bytes(&graph);
+    let (addr, handle, thread) = start_default();
+
+    // Cold: pays coarsening.
+    let cold = post(&addr, "/partition?k=4", &body);
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    assert_eq!(cold.header("x-mcgp-cache"), Some("miss"));
+    assert!(cold.header("x-mcgp-trace-id").is_some());
+    let cold_coarsen: u64 = cold.header("x-mcgp-coarsen-us").unwrap().parse().unwrap();
+    assert!(cold_coarsen > 0, "cold run must pay coarsening");
+
+    // Identical request: cache hit, zero coarsening, byte-identical body.
+    let warm = post(&addr, "/partition?k=4", &body);
+    assert_eq!(warm.header("x-mcgp-cache"), Some("hit"));
+    let warm_coarsen: u64 = warm.header("x-mcgp-coarsen-us").unwrap().parse().unwrap();
+    assert_eq!(warm_coarsen, 0, "warm run must not coarsen");
+    assert_eq!(cold.body, warm.body, "responses must be byte-identical");
+
+    // Same fingerprint, different (k, ε): still a hit, and bit-identical
+    // to what the library computes cold.
+    let other = post(&addr, "/partition?k=8&tol=0.2", &body);
+    assert_eq!(other.status, 200, "{}", other.text());
+    assert_eq!(other.header("x-mcgp-cache"), Some("hit"));
+    let (meta, parts, done) = parse_body(&other.text());
+    assert_eq!(meta.get("k").unwrap().as_i64(), Some(8));
+    let lib_cfg = PartitionConfig {
+        imbalance_tol: 0.2,
+        ..PartitionConfig::default()
+    };
+    let lib = partition_kway(&graph, 8, &lib_cfg);
+    assert_eq!(parts, lib.partition.assignment(), "served != library");
+    assert_eq!(
+        done.get("edge_cut").unwrap().as_i64(),
+        Some(lib.quality.edge_cut)
+    );
+    assert_eq!(
+        meta.get("levels").unwrap().as_i64().unwrap() as usize,
+        lib.coarsen_levels
+    );
+
+    // A different seed is a different fingerprint: cold again.
+    let reseeded = post(&addr, "/partition?k=4&seed=9", &body);
+    assert_eq!(reseeded.header("x-mcgp-cache"), Some("miss"));
+
+    let metrics = get(&addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    let doc = Json::parse(metrics.text().trim()).unwrap();
+    let cache = doc.get("cache").unwrap();
+    assert_eq!(cache.get("hits").unwrap().as_i64(), Some(2));
+    assert_eq!(cache.get("misses").unwrap().as_i64(), Some(2));
+    assert_eq!(cache.get("entries").unwrap().as_i64(), Some(2));
+    assert_eq!(doc.get("errors").unwrap().as_i64(), Some(0));
+
+    stop(&handle, thread);
+}
+
+#[test]
+fn json_and_metis_ingest_agree_on_the_same_graph() {
+    let graph = mrng_like(600, 3);
+    let metis = metis_bytes(&graph);
+    let json_body = Json::obj([
+        (
+            "xadj",
+            Json::Arr(graph.xadj().iter().map(|&x| Json::UInt(x as u64)).collect()),
+        ),
+        (
+            "adjncy",
+            Json::Arr(
+                graph
+                    .adjncy()
+                    .iter()
+                    .map(|&x| Json::UInt(x as u64))
+                    .collect(),
+            ),
+        ),
+        (
+            "adjwgt",
+            Json::Arr(
+                graph
+                    .adjwgt()
+                    .iter()
+                    .map(|&x| Json::Int(x))
+                    .collect(),
+            ),
+        ),
+        (
+            "vwgt",
+            Json::Arr(graph.vwgt_flat().iter().map(|&x| Json::Int(x)).collect()),
+        ),
+        ("ncon", Json::UInt(graph.ncon() as u64)),
+    ])
+    .to_string();
+    let (addr, handle, thread) = start_default();
+
+    let via_metis = post(&addr, "/partition?k=6", &metis);
+    assert_eq!(via_metis.status, 200, "{}", via_metis.text());
+    let via_json = http_request(
+        &addr,
+        "POST",
+        "/partition?k=6",
+        &[("Content-Type", "application/json")],
+        json_body.as_bytes(),
+        Some(Duration::from_secs(120)),
+    )
+    .unwrap();
+    assert_eq!(via_json.status, 200, "{}", via_json.text());
+    // Different wire bytes → different fingerprints → both cold ...
+    assert_eq!(via_json.header("x-mcgp-cache"), Some("miss"));
+    // ... but the same graph, seed, and knobs → the same partition.
+    let (_, parts_m, done_m) = parse_body(&via_metis.text());
+    let (_, parts_j, done_j) = parse_body(&via_json.text());
+    assert_eq!(parts_m, parts_j);
+    assert_eq!(
+        done_m.get("edge_cut").unwrap().as_i64(),
+        done_j.get("edge_cut").unwrap().as_i64()
+    );
+
+    stop(&handle, thread);
+}
+
+#[test]
+fn malformed_corpus_over_the_wire_yields_typed_errors_not_a_dead_daemon() {
+    let (addr, handle, thread) = start_default();
+
+    for (label, text, expected) in MALFORMED_GRAPHS {
+        let resp = post(&addr, "/partition?k=4", text.as_bytes());
+        assert!(
+            resp.status == 400 || resp.status == 413,
+            "{label}: expected a 4xx, got {} ({})",
+            resp.status,
+            resp.text()
+        );
+        let doc = Json::parse(resp.text().trim())
+            .unwrap_or_else(|e| panic!("{label}: error body is not JSON: {e}"));
+        assert_eq!(doc.get("type").unwrap().as_str(), Some("error"), "{label}");
+        let kind = doc.get("kind").unwrap().as_str().unwrap().to_string();
+        let allowed: &[&str] = match expected {
+            ExpectedError::Parse => &["parse"],
+            ExpectedError::Overflow => &["overflow"],
+            ExpectedError::Structure => &["malformed", "not_undirected", "invariant"],
+        };
+        assert!(
+            allowed.contains(&kind.as_str()),
+            "{label}: kind '{kind}' not in {allowed:?}"
+        );
+        assert!(!doc.get("detail").unwrap().as_str().unwrap().is_empty());
+    }
+
+    // The daemon survived the whole corpus, cached nothing from it, and
+    // still partitions a valid graph.
+    assert_eq!(get(&addr, "/healthz").status, 200);
+    let metrics = Json::parse(get(&addr, "/metrics").text().trim()).unwrap();
+    assert_eq!(
+        metrics.get("cache").unwrap().get("entries").unwrap().as_i64(),
+        Some(0),
+        "malformed inputs must not populate the cache"
+    );
+    assert_eq!(
+        metrics.get("errors").unwrap().as_i64(),
+        Some(MALFORMED_GRAPHS.len() as i64)
+    );
+    let ok = post(&addr, "/partition?k=2", &metis_bytes(&mrng_like(300, 1)));
+    assert_eq!(ok.status, 200, "{}", ok.text());
+
+    stop(&handle, thread);
+}
+
+#[test]
+fn protocol_errors_are_typed_and_survivable() {
+    let (addr, handle, thread) = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        limits: Limits {
+            max_body_bytes: 1024,
+            ..Limits::default()
+        },
+        ..ServeConfig::default()
+    });
+    let small = metis_bytes(&mrng_like(30, 1));
+
+    // Raw non-HTTP bytes: typed 400, connection handled.
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    raw.write_all(b"GARBAGE FRAME\r\n\r\n").unwrap();
+    raw.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut answer = String::new();
+    raw.read_to_string(&mut answer).unwrap();
+    assert!(answer.starts_with("HTTP/1.1 400"), "{answer}");
+    assert!(answer.contains("bad_request"), "{answer}");
+
+    // Routing errors.
+    assert_eq!(get(&addr, "/nope").status, 404);
+    assert_eq!(get(&addr, "/partition").status, 405);
+    assert_eq!(
+        http_request(&addr, "DELETE", "/healthz", &[], b"", None)
+            .unwrap()
+            .status,
+        405
+    );
+
+    // Parameter errors.
+    for target in [
+        "/partition",            // k missing
+        "/partition?k=0",        // k out of range
+        "/partition?k=4&tol=-1", // tol out of range
+        "/partition?k=4&threads=0",
+    ] {
+        let resp = post(&addr, target, &small);
+        assert_eq!(resp.status, 400, "{target}");
+        let doc = Json::parse(resp.text().trim()).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("invalid_param"));
+    }
+    // k larger than the graph: typed, and the graph stays cached.
+    let resp = post(&addr, "/partition?k=500", &small);
+    assert_eq!(resp.status, 400);
+    let doc = Json::parse(resp.text().trim()).unwrap();
+    assert_eq!(doc.get("kind").unwrap().as_str(), Some("invalid_param"));
+    let ok = post(&addr, "/partition?k=4", &small);
+    assert_eq!(ok.status, 200);
+    assert_eq!(
+        ok.header("x-mcgp-cache"),
+        Some("hit"),
+        "rejected k must not evict the hierarchy it looked up"
+    );
+
+    // Empty body.
+    let resp = post(&addr, "/partition?k=4", b"");
+    assert_eq!(resp.status, 400);
+
+    // Body over the configured limit: 413.
+    let resp = post(&addr, "/partition?k=4", &vec![b'1'; 4096]);
+    assert_eq!(resp.status, 413);
+    assert!(resp.text().contains("too_large"), "{}", resp.text());
+
+    assert_eq!(get(&addr, "/healthz").status, 200);
+    stop(&handle, thread);
+}
+
+#[test]
+fn slow_client_gets_a_request_timeout() {
+    let (addr, handle, thread) = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        io_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    // An incomplete head, never finished: the daemon's read times out.
+    s.write_all(b"POST /partition?k=4 HTTP/1.1\r\nContent-Len").unwrap();
+    let mut answer = String::new();
+    s.read_to_string(&mut answer).unwrap();
+    assert!(answer.starts_with("HTTP/1.1 408"), "{answer}");
+    assert!(answer.contains("timeout"), "{answer}");
+    stop(&handle, thread);
+}
+
+#[test]
+fn shutdown_endpoint_drains_and_run_returns() {
+    let (addr, _handle, thread) = start_default();
+    let resp = post(&addr, "/shutdown", b"");
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("draining"));
+    // run() returns on its own — no handle.shutdown() here.
+    thread.join().unwrap().unwrap();
+}

@@ -1,0 +1,32 @@
+//! The SIGTERM latch, tested in its own process: the flag is global and
+//! sticky by design, so this must not share a process with tests that
+//! run servers.
+
+#![cfg(unix)]
+
+use mcgp_serve::server::{ServeConfig, Server};
+use mcgp_serve::signal;
+
+extern "C" {
+    fn raise(signum: i32) -> i32;
+}
+
+#[test]
+fn sigterm_latches_and_gracefully_stops_a_running_server() {
+    signal::install();
+    assert!(!signal::raised());
+
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let t = std::thread::spawn(move || server.run());
+
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert_eq!(unsafe { raise(15) }, 0);
+    assert!(signal::raised());
+
+    // The accept loop polls the latch and drains: run() returns cleanly.
+    t.join().unwrap().unwrap();
+}

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Perf trajectory: runs the refinement- and coarsening-heavy bench targets
-# and writes BENCH_refine.json / BENCH_coarsen.json (one JSONL record per
-# bench: median/min/max wall seconds over $SAMPLES samples) at the repo
-# root, then validates each file's schema with `mcgp bench-check`. Future
-# PRs compare their medians against the committed files.
+# plus the `mcgp serve` load test, and writes BENCH_refine.json /
+# BENCH_coarsen.json / BENCH_serve.json (one JSONL record per bench:
+# median/min/max wall seconds over $SAMPLES samples; serve rows add
+# p50/p99 latency and throughput) at the repo root, then validates each
+# file's schema with `mcgp bench-check`. Future PRs compare their medians
+# against the committed files.
 #
 #   SAMPLES=5 scripts/bench.sh          # default 5 samples per bench
 #   scripts/bench.sh smoke              # filter benches by substring
@@ -14,6 +16,7 @@ cd "$(dirname "$0")/.."
 SAMPLES="${SAMPLES:-5}"
 REFINE_OUT="${REFINE_OUT:-BENCH_refine.json}"
 COARSEN_OUT="${COARSEN_OUT:-BENCH_coarsen.json}"
+SERVE_OUT="${SERVE_OUT:-BENCH_serve.json}"
 
 cargo build --release --offline -p mcgp-harness
 cargo bench --offline -p mcgp-bench --bench refine_boundary -- \
@@ -24,3 +27,10 @@ cargo bench --offline -p mcgp-bench --bench coarsen_smp -- \
     --samples "$SAMPLES" "$@" > "$COARSEN_OUT"
 ./target/release/mcgp bench-check "$COARSEN_OUT"
 echo "bench: wrote $COARSEN_OUT"
+
+# Daemon load test: in-process server, mixed cold/warm client mix. The
+# cold/warm split is the hierarchy cache's headline number; the mixed row
+# carries throughput (rps). Not filterable — it is one self-contained run.
+./target/release/mcgp bench serve > "$SERVE_OUT"
+./target/release/mcgp bench-check "$SERVE_OUT"
+echo "bench: wrote $SERVE_OUT"

@@ -64,4 +64,48 @@ if ./target/release/mcgp check gen:mrng:2000:3 "$TRACE_DIR/smoke3.bad.part" 8 \
     echo "verify: mcgp check accepted a corrupted partition" >&2
     exit 1
 fi
+# Serve smoke: daemon on an ephemeral port, one cold + one warm request.
+# The warm request must hit the hierarchy cache and skip coarsening
+# entirely (X-Mcgp-Coarsen-Us: 0), and SIGTERM must drain cleanly.
+rm -f "$TRACE_DIR/serve.port"
+./target/release/mcgp serve --addr 127.0.0.1:0 --workers 2 \
+    --port-file "$TRACE_DIR/serve.port" 2> "$TRACE_DIR/serve.log" &
+SERVE_PID=$!
+i=0
+while [ ! -s "$TRACE_DIR/serve.port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "verify: mcgp serve never wrote its port file" >&2
+        cat "$TRACE_DIR/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+SERVE_ADDR="$(cat "$TRACE_DIR/serve.port")"
+./target/release/mcgp serve-request --addr "$SERVE_ADDR" gen:mrng:2000 4 \
+    > "$TRACE_DIR/serve_cold.txt"
+grep -q "^x-mcgp-cache: miss$" "$TRACE_DIR/serve_cold.txt"
+# Same graph bytes + seed, different k: must reuse the cached hierarchy.
+./target/release/mcgp serve-request --addr "$SERVE_ADDR" gen:mrng:2000 8 \
+    > "$TRACE_DIR/serve_warm.txt"
+grep -q "^x-mcgp-cache: hit$" "$TRACE_DIR/serve_warm.txt"
+grep -q "^x-mcgp-coarsen-us: 0$" "$TRACE_DIR/serve_warm.txt"
+# Identical request twice: served bytes must be deterministic.
+./target/release/mcgp serve-request --addr "$SERVE_ADDR" gen:mrng:2000 8 --full \
+    > "$TRACE_DIR/serve_rep_a.txt"
+./target/release/mcgp serve-request --addr "$SERVE_ADDR" gen:mrng:2000 8 --full \
+    > "$TRACE_DIR/serve_rep_b.txt"
+grep -v "^x-mcgp-trace-id\|^x-mcgp-total-us" "$TRACE_DIR/serve_rep_a.txt" \
+    > "$TRACE_DIR/serve_rep_a.stable"
+grep -v "^x-mcgp-trace-id\|^x-mcgp-total-us" "$TRACE_DIR/serve_rep_b.txt" \
+    > "$TRACE_DIR/serve_rep_b.stable"
+cmp "$TRACE_DIR/serve_rep_a.stable" "$TRACE_DIR/serve_rep_b.stable"
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+    echo "verify: mcgp serve did not drain cleanly on SIGTERM" >&2
+    cat "$TRACE_DIR/serve.log" >&2
+    exit 1
+fi
+grep -q "drained and stopped" "$TRACE_DIR/serve.log"
+
 echo "verify: OK"

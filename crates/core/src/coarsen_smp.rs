@@ -81,6 +81,7 @@ pub fn match_smp(
 ) -> GraphMatching {
     let n = graph.nvtxs();
     let stripes = nthreads.max(1);
+    let _s = mcgp_runtime::span!("match_smp", nvtxs = n, stripes = stripes);
     let bounds = stripe_bounds(n, stripes);
     let mut mate: Vec<u32> = (0..n as u32).collect();
     let mut matched = vec![false; n];
@@ -317,6 +318,7 @@ pub fn contract_smp(
     let ncon = graph.ncon();
     let cn = matching.coarse_nvtxs;
     let stripes = nthreads.max(1);
+    let _s = mcgp_runtime::span!("contract_smp", nvtxs = n, coarse_nvtxs = cn, stripes = stripes);
     let bounds = stripe_bounds(n, stripes);
     let mate = &matching.mate;
     let SmpCoarsenScratch {

@@ -27,6 +27,7 @@ use crate::PartitionResult;
 use mcgp_graph::Graph;
 use mcgp_runtime::phase::{timed, Phase};
 use mcgp_runtime::rng::Rng;
+use mcgp_runtime::span;
 
 /// A deep coarsening hierarchy with recorded per-level RNG states, able to
 /// serve any `(nparts, ε)` partitioning request on its graph without
@@ -50,10 +51,16 @@ impl HierarchySnapshot {
     /// Runs the post-coarsen invariant seam at `config.check`, so a cached
     /// snapshot is validated once, not per request.
     pub fn build(graph: &Graph, config: &PartitionConfig) -> Self {
+        let mut _root = span!(
+            "hierarchy_build",
+            nvtxs = graph.nvtxs(),
+            nthreads = config.nthreads,
+        );
         let mut rng = Rng::seed_from_u64(config.seed);
         let rec = timed(Phase::Coarsen, || {
             coarsen_recorded(graph, config.coarsen_to_min, config, &mut rng)
         });
+        _root.record("levels", rec.hierarchy.levels().len());
         check_levels(graph, rec.hierarchy.levels(), config.check);
         HierarchySnapshot {
             levels: rec.hierarchy.levels().to_vec(),
@@ -158,6 +165,12 @@ impl HierarchySnapshot {
         }
         let target = config.coarsen_target(nparts);
         let cut = self.prefix_len(target);
+        let _root = span!(
+            "hierarchy_replay",
+            nvtxs = graph.nvtxs(),
+            nparts = nparts,
+            prefix_levels = cut,
+        );
         let mut rng = if self.input_nvtxs(cut) <= target {
             // A cold run stops on size before matching level `cut`: its
             // exit RNG state is the recorded boundary state.

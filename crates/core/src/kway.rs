@@ -12,8 +12,8 @@ use crate::PartitionResult;
 use crate::balance::imbalances_from_pw;
 use mcgp_graph::check as gcheck;
 use mcgp_graph::{CheckLevel, Graph};
-use mcgp_runtime::event;
 use mcgp_runtime::phase::{timed, Phase};
+use mcgp_runtime::{event, span};
 use mcgp_runtime::rng::Rng;
 
 /// Aborts on an invariant violation detected at a pipeline seam. These are
@@ -68,6 +68,7 @@ pub(crate) fn initial_and_refine(
     // Phase 2: initial partitioning of the coarsest graph via recursive
     // bisection.
     let mut assignment = timed(Phase::Initial, || {
+        let _s = span!("initial", nvtxs = coarsest.nvtxs(), nparts = nparts);
         recursive_bisection_assignment(coarsest, nparts, config, rng)
     });
 
@@ -116,6 +117,7 @@ pub(crate) fn initial_and_refine(
 
     // Refine the initial partitioning on the coarsest graph itself.
     timed(Phase::Refine, || {
+        let _s = span!("refine", nlevels = nlevels, nvtxs = graph.nvtxs());
         refine_on(nlevels, coarsest, &mut assignment, rng, &mut ws);
         for lvl in (0..nlevels).rev() {
             let cmap = &levels[lvl].cmap;
@@ -161,9 +163,16 @@ pub fn partition_kway(graph: &Graph, nparts: usize, config: &PartitionConfig) ->
         return PartitionResult::measure(graph, vec![0; graph.nvtxs()], 1, 0);
     }
     let mut rng = Rng::seed_from_u64(config.seed);
+    let _root = span!(
+        "partition_kway",
+        nvtxs = graph.nvtxs(),
+        nparts = nparts,
+        ncon = graph.ncon(),
+    );
 
     // Phase 1: coarsening.
     let hierarchy = timed(Phase::Coarsen, || {
+        let _s = span!("coarsen", nvtxs = graph.nvtxs());
         coarsen(graph, config.coarsen_target(nparts), config, &mut rng)
     });
     check_levels(graph, hierarchy.levels(), config.check);

@@ -1,0 +1,359 @@
+//! The bench regression gate behind `mcgp bench-gate`.
+//!
+//! Compares a freshly generated bench JSONL report against a committed
+//! baseline (`BENCH_refine.json` / `BENCH_coarsen.json` /
+//! `BENCH_serve.json`) and produces a machine-readable verdict. A bench
+//! regresses when its fresh median exceeds the baseline median by more
+//! than the configured ratio; throughput rows (`rps`) are gated in the
+//! inverse direction. The gate is deliberately loose by default —
+//! wall-clock benches on shared CI hardware are noisy — its job is to
+//! catch order-of-magnitude regressions (a cache that stopped caching, a
+//! refinement pass gone quadratic), not 10% drift.
+//!
+//! Robustness choices, each load-bearing:
+//!
+//! * **Intersection gating.** Only benches present in *both* files are
+//!   compared; additions and renames don't fail the gate (they show up as
+//!   `only_baseline` / `only_fresh` in the verdict for a human to read).
+//!   An empty intersection is an error — it means the gate compared
+//!   nothing and a pass would be vacuous.
+//! * **Noise floor.** Benches whose baseline median sits below the floor
+//!   are reported but not gated: a 0.4 ms bench doubling is scheduler
+//!   jitter, not a regression.
+//! * **Median, not max.** `max_s` includes warm-up and interference
+//!   outliers by construction.
+
+use mcgp_runtime::json::{Json, ToJson};
+use std::collections::BTreeMap;
+
+/// Gate thresholds. `Default` matches what `scripts/verify.sh` runs.
+#[derive(Clone, Debug)]
+pub struct GateConfig {
+    /// Fail when `fresh_median > baseline_median * tolerance` (and, for
+    /// throughput, when `fresh_rps < baseline_rps / tolerance`).
+    pub tolerance: f64,
+    /// Baseline medians below this many seconds are too noisy to gate;
+    /// they are listed with `gated: false` and never fail.
+    pub noise_floor_s: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            tolerance: 3.0,
+            noise_floor_s: 0.005,
+        }
+    }
+}
+
+/// One bench row as the gate sees it: the validated subset of the JSONL
+/// schema plus optional throughput.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    pub median_s: f64,
+    pub samples: u64,
+    pub rps: Option<f64>,
+}
+
+/// Outcome of one baseline-vs-fresh comparison.
+#[derive(Clone, Debug)]
+pub struct Check {
+    pub bench: String,
+    pub baseline_median_s: f64,
+    pub fresh_median_s: f64,
+    /// `fresh / baseline`; > 1 means slower.
+    pub ratio: f64,
+    /// Throughput ratio `fresh_rps / baseline_rps` when both rows carry
+    /// `rps`; > 1 means faster.
+    pub rps_ratio: Option<f64>,
+    /// Whether this bench participated in the verdict (above the noise
+    /// floor).
+    pub gated: bool,
+    /// Whether this bench regressed past the tolerance. Only possible
+    /// when `gated`.
+    pub regressed: bool,
+}
+
+/// The whole gate result: per-bench checks plus the non-compared
+/// leftovers on each side.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    pub checks: Vec<Check>,
+    pub only_baseline: Vec<String>,
+    pub only_fresh: Vec<String>,
+    pub tolerance: f64,
+    pub noise_floor_s: f64,
+}
+
+impl GateReport {
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| !c.regressed)
+    }
+
+    pub fn regressions(&self) -> impl Iterator<Item = &Check> {
+        self.checks.iter().filter(|c| c.regressed)
+    }
+}
+
+impl ToJson for GateReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "verdict",
+                Json::Str(if self.passed() { "pass" } else { "fail" }.into()),
+            ),
+            ("tolerance", Json::Float(self.tolerance)),
+            ("noise_floor_s", Json::Float(self.noise_floor_s)),
+            ("compared", Json::UInt(self.checks.len() as u64)),
+            (
+                "regressed",
+                Json::UInt(self.regressions().count() as u64),
+            ),
+            (
+                "checks",
+                Json::Arr(
+                    self.checks
+                        .iter()
+                        .map(|c| {
+                            let mut pairs = vec![
+                                ("bench".to_string(), Json::Str(c.bench.clone())),
+                                (
+                                    "baseline_median_s".to_string(),
+                                    Json::Float(c.baseline_median_s),
+                                ),
+                                ("fresh_median_s".to_string(), Json::Float(c.fresh_median_s)),
+                                ("ratio".to_string(), Json::Float(c.ratio)),
+                                ("gated".to_string(), Json::Bool(c.gated)),
+                                ("regressed".to_string(), Json::Bool(c.regressed)),
+                            ];
+                            if let Some(r) = c.rps_ratio {
+                                pairs.push(("rps_ratio".to_string(), Json::Float(r)));
+                            }
+                            Json::Obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "only_baseline",
+                Json::Arr(self.only_baseline.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "only_fresh",
+                Json::Arr(self.only_fresh.iter().cloned().map(Json::Str).collect()),
+            ),
+        ])
+    }
+}
+
+/// Parses a bench JSONL report into `name → row`, enforcing the same
+/// schema `mcgp bench-check` validates (so the gate never compares
+/// garbage). Duplicate bench names are an error: the gate would silently
+/// compare only the last.
+pub fn parse_bench_file(text: &str, label: &str) -> Result<BTreeMap<String, BenchRow>, String> {
+    let mut rows = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json = Json::parse(line).map_err(|e| format!("{label}:{lineno}: not JSON: {e:?}"))?;
+        let name = json
+            .get("bench")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{label}:{lineno}: missing string field `bench`"))?
+            .to_string();
+        let num = |key: &str| -> Result<f64, String> {
+            json.get(key)
+                .and_then(|v| v.as_f64())
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| format!("{label}:{lineno}: missing finite field `{key}`"))
+        };
+        let median_s = num("median_s")?;
+        let samples = num("samples")? as u64;
+        if median_s < 0.0 || samples == 0 {
+            return Err(format!(
+                "{label}:{lineno}: degenerate row (median {median_s}, samples {samples})"
+            ));
+        }
+        let rps = json.get("rps").and_then(|v| v.as_f64()).filter(|v| *v > 0.0);
+        if rows
+            .insert(
+                name.clone(),
+                BenchRow {
+                    median_s,
+                    samples,
+                    rps,
+                },
+            )
+            .is_some()
+        {
+            return Err(format!("{label}:{lineno}: duplicate bench `{name}`"));
+        }
+    }
+    if rows.is_empty() {
+        return Err(format!("{label}: no bench records"));
+    }
+    Ok(rows)
+}
+
+/// Runs the gate over two parsed reports. Errors when the name
+/// intersection is empty — a gate that compared nothing must not pass.
+pub fn gate(
+    baseline: &BTreeMap<String, BenchRow>,
+    fresh: &BTreeMap<String, BenchRow>,
+    config: &GateConfig,
+) -> Result<GateReport, String> {
+    assert!(config.tolerance >= 1.0, "tolerance must be >= 1");
+    assert!(config.noise_floor_s >= 0.0, "noise floor must be >= 0");
+    let mut checks = Vec::new();
+    for (name, base) in baseline {
+        let Some(new) = fresh.get(name) else { continue };
+        // A zero baseline median carries no signal (and would make every
+        // ratio infinite); the noise floor subsumes it for any floor > 0,
+        // and `max(f64::MIN_POSITIVE)` keeps the ratio finite regardless.
+        let ratio = new.median_s / base.median_s.max(f64::MIN_POSITIVE);
+        let rps_ratio = match (base.rps, new.rps) {
+            (Some(b), Some(n)) => Some(n / b),
+            _ => None,
+        };
+        let gated = base.median_s >= config.noise_floor_s;
+        let slow = ratio > config.tolerance;
+        let throughput_drop = rps_ratio.is_some_and(|r| r < 1.0 / config.tolerance);
+        checks.push(Check {
+            bench: name.clone(),
+            baseline_median_s: base.median_s,
+            fresh_median_s: new.median_s,
+            ratio,
+            rps_ratio,
+            gated,
+            regressed: gated && (slow || throughput_drop),
+        });
+    }
+    if checks.is_empty() {
+        return Err(format!(
+            "no common benches between baseline ({}) and fresh ({}) — nothing gated",
+            baseline.len(),
+            fresh.len()
+        ));
+    }
+    let compared: std::collections::BTreeSet<&String> = checks.iter().map(|c| &c.bench).collect();
+    Ok(GateReport {
+        only_baseline: baseline
+            .keys()
+            .filter(|k| !compared.contains(k))
+            .cloned()
+            .collect(),
+        only_fresh: fresh
+            .keys()
+            .filter(|k| !compared.contains(k))
+            .cloned()
+            .collect(),
+        checks,
+        tolerance: config.tolerance,
+        noise_floor_s: config.noise_floor_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rows: &[(&str, f64, Option<f64>)]) -> String {
+        rows.iter()
+            .map(|(name, median, rps)| {
+                let rps = rps.map_or(String::new(), |r| format!(",\"rps\":{r}"));
+                format!(
+                    "{{\"bench\":\"{name}\",\"samples\":5,\"median_s\":{median},\
+                     \"min_s\":{median},\"max_s\":{median}{rps}}}"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    fn parse(rows: &[(&str, f64, Option<f64>)]) -> BTreeMap<String, BenchRow> {
+        parse_bench_file(&file(rows), "test").unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let rows = parse(&[("a", 0.1, None), ("b", 0.2, Some(10.0))]);
+        let report = gate(&rows, &rows, &GateConfig::default()).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 2);
+        assert!(report.checks.iter().all(|c| (c.ratio - 1.0).abs() < 1e-12));
+        let json = report.to_json();
+        assert_eq!(json.get("verdict").unwrap().as_str(), Some("pass"));
+        assert_eq!(json.get("regressed").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn tenfold_slowdown_fails_and_names_the_bench() {
+        let base = parse(&[("fast", 0.1, None), ("slow", 0.1, None)]);
+        let fresh = parse(&[("fast", 0.1, None), ("slow", 1.0, None)]);
+        let report = gate(&base, &fresh, &GateConfig::default()).unwrap();
+        assert!(!report.passed());
+        let bad: Vec<&str> = report.regressions().map(|c| c.bench.as_str()).collect();
+        assert_eq!(bad, ["slow"]);
+        assert_eq!(
+            report.to_json().get("verdict").unwrap().as_str(),
+            Some("fail")
+        );
+    }
+
+    #[test]
+    fn throughput_collapse_fails_even_with_flat_latency() {
+        let base = parse(&[("mixed", 0.1, Some(100.0))]);
+        let fresh = parse(&[("mixed", 0.1, Some(5.0))]);
+        let report = gate(&base, &fresh, &GateConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.checks[0].rps_ratio.unwrap() < 0.1);
+    }
+
+    #[test]
+    fn noise_floor_exempts_microbenches() {
+        let base = parse(&[("tiny", 0.0001, None), ("real", 0.1, None)]);
+        let fresh = parse(&[("tiny", 0.01, None), ("real", 0.1, None)]); // tiny 100x "slower"
+        let report = gate(&base, &fresh, &GateConfig::default()).unwrap();
+        assert!(report.passed(), "sub-floor bench must not gate");
+        let tiny = report.checks.iter().find(|c| c.bench == "tiny").unwrap();
+        assert!(!tiny.gated && !tiny.regressed);
+    }
+
+    #[test]
+    fn renames_are_reported_not_fatal_but_empty_intersection_is() {
+        let base = parse(&[("old_name", 0.1, None), ("kept", 0.1, None)]);
+        let fresh = parse(&[("new_name", 0.1, None), ("kept", 0.1, None)]);
+        let report = gate(&base, &fresh, &GateConfig::default()).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.only_baseline, ["old_name"]);
+        assert_eq!(report.only_fresh, ["new_name"]);
+
+        let disjoint = parse(&[("completely_different", 0.1, None)]);
+        assert!(gate(&base, &disjoint, &GateConfig::default()).is_err());
+    }
+
+    #[test]
+    fn parser_rejects_garbage_and_duplicates() {
+        assert!(parse_bench_file("", "t").is_err(), "empty file");
+        assert!(parse_bench_file("not json", "t").is_err());
+        assert!(parse_bench_file("{\"bench\":\"a\"}", "t").is_err(), "missing fields");
+        let dup = file(&[("a", 0.1, None), ("a", 0.2, None)]);
+        assert!(parse_bench_file(&dup, "t").unwrap_err().contains("duplicate"));
+        // Blank lines are fine.
+        let ok = format!("\n{}\n\n", file(&[("a", 0.1, None)]));
+        assert_eq!(parse_bench_file(&ok, "t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn tolerance_boundary_is_exclusive() {
+        let base = parse(&[("b", 0.1, None)]);
+        let fresh = parse(&[("b", 0.3, None)]); // exactly 3.0x
+        let cfg = GateConfig::default();
+        let report = gate(&base, &fresh, &cfg).unwrap();
+        assert!(report.passed(), "ratio == tolerance passes");
+        let fresh = parse(&[("b", 0.30001, None)]);
+        assert!(!gate(&base, &fresh, &cfg).unwrap().passed());
+    }
+}

@@ -6,16 +6,20 @@
 //!      ablation-imbalance|ablation-constraints|all [options]
 //! mcgp partition <file.graph> <k> [--parallel <p>] [--threads <t>] [--seed <s>]
 //!                [--outfile <f>] [--trace <f>] [--trace-format jsonl|chrome]
+//!                [--profile <f.folded>] [--profile-hz <n>]
 //! mcgp check <file.graph> [<file.part> <k>] [--tol <t>] [--level cheap|full]
 //! mcgp fuzz [--seed <s>] [--cases <n>]
-//! mcgp trace-check <trace-file> [--format jsonl|chrome]
+//! mcgp trace-check <trace-file> [--format jsonl|chrome|folded]
 //! mcgp bench-check <bench-jsonl-file>
+//! mcgp bench-gate <baseline-jsonl> <fresh-jsonl> [--tolerance <x>]
+//!                 [--noise-floor-ms <ms>]
 //! mcgp serve [--addr <host:port>] [--workers <n>] [--cache-mb <mb>]
 //!            [--timeout-secs <s>] [--port-file <f>] [--trace <f>]
 //! mcgp serve-request --addr <host:port> (--get <path> | <file.graph|gen:...> <k>)
 //!                    [--seed <s>] [--tol <t>] [--threads <t>] [--json] [--full]
 //! mcgp bench serve [--nvtxs <n>] [--requests <n>] [--clients <n>]
 //!                  [--cold-every <n>] [--workers <n>]
+//!                  [--profile <f.folded>] [--profile-hz <n>]
 //!
 //! options:
 //!   --scale <N>    generate graphs at 1/N of paper size   [default 16]
@@ -155,6 +159,7 @@ fn main() {
         "fuzz" => run_fuzz(&opts),
         "trace-check" => run_trace_check(&opts),
         "bench-check" => run_bench_check(&opts),
+        "bench-gate" => run_bench_gate(&opts),
         "serve" => run_serve(&opts),
         "serve-request" => run_serve_request(&opts),
         "bench" => run_bench(&opts),
@@ -362,7 +367,7 @@ fn load_graph(spec: &str, seed: u64) -> mcgp_graph::Graph {
 fn run_partition(opts: &Opts) {
     let usage = "usage: mcgp partition <file.graph|gen:...> <k> [--parallel <p>] [--threads <t>] \
                  [--seed <s>] [--tol <t>] [--outfile <f>] [--trace <f>] \
-                 [--trace-format jsonl|chrome]";
+                 [--trace-format jsonl|chrome] [--profile <f.folded>] [--profile-hz <n>]";
     let mut file = None;
     let mut k = None;
     let mut parallel = None;
@@ -372,6 +377,8 @@ fn run_partition(opts: &Opts) {
     let mut outfile = None;
     let mut trace_file: Option<String> = None;
     let mut trace_format = mcgp_runtime::trace::TraceFormat::Jsonl;
+    let mut profile_file: Option<String> = None;
+    let mut profile_hz = 997u32;
     let mut it = opts.rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -386,6 +393,8 @@ fn run_partition(opts: &Opts) {
                 trace_format = mcgp_runtime::trace::TraceFormat::parse(name)
                     .unwrap_or_else(|| die(format!("unknown trace format `{name}` (jsonl|chrome)")))
             }
+            "--profile" => profile_file = Some(flag_value(&mut it, a, usage).to_string()),
+            "--profile-hz" => profile_hz = parse_value(flag_value(&mut it, a, usage), a),
             other if file.is_none() => file = Some(other.to_string()),
             other if k.is_none() => k = Some(parse_value(other, "part count <k>")),
             other => die(format!("unexpected argument `{other}`\n{usage}")),
@@ -412,6 +421,12 @@ fn run_partition(opts: &Opts) {
         let _ = mcgp_runtime::trace::take_local(); // clean slate for the event buffer
         mcgp_runtime::trace::set_enabled(true);
     }
+    // The profiler is a pure observer: the partition below is
+    // bit-identical with or without it (the span stack is write-only
+    // state the algorithms never read).
+    let profiler = profile_file
+        .as_ref()
+        .map(|_| mcgp_runtime::profile::Profiler::start(profile_hz));
     let ((assignment, quality), report) = mcgp_runtime::phase::PhaseReport::capture(|| {
         match parallel {
             Some(p) => {
@@ -435,6 +450,23 @@ fn run_partition(opts: &Opts) {
         quality.edge_cut, quality.max_imbalance, quality.comm_volume
     );
     eprintln!("{}", report.render());
+    if let (Some(path), Some(profiler)) = (&profile_file, profiler) {
+        let stacks = profiler.stop();
+        let folded = stacks.render();
+        if let Err(e) = mcgp_runtime::profile::validate_collapsed(&folded) {
+            eprintln!("internal error: profiler produced invalid collapsed output: {e}");
+            std::process::exit(1);
+        }
+        std::fs::write(path, &folded).unwrap_or_else(|e| {
+            eprintln!("failed to write profile {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "wrote {} samples over {} stack(s) to {path} (hz {profile_hz})",
+            stacks.total_samples(),
+            stacks.len()
+        );
+    }
     if let Some(path) = &trace_file {
         mcgp_runtime::trace::set_enabled(false);
         let events = mcgp_runtime::trace::take_local();
@@ -459,19 +491,32 @@ fn run_partition(opts: &Opts) {
     eprintln!("wrote {outfile}");
 }
 
+/// The artifact formats `trace-check` can validate: the two span-trace
+/// encodings plus the profiler's collapsed-stack output.
+#[derive(Clone, Copy, Debug)]
+enum CheckFormat {
+    Jsonl,
+    Chrome,
+    Folded,
+}
+
 fn run_trace_check(opts: &Opts) {
-    let usage = "usage: mcgp trace-check <trace-file> [--format jsonl|chrome]";
+    let usage = "usage: mcgp trace-check <trace-file> [--format jsonl|chrome|folded]";
     let mut file = None;
     let mut format = None;
     let mut it = opts.rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--format" => {
-                let name = it.next().expect(usage);
-                format = Some(mcgp_runtime::trace::TraceFormat::parse(name).unwrap_or_else(|| {
-                    eprintln!("unknown trace format `{name}` (jsonl|chrome)");
-                    std::process::exit(2);
-                }))
+                format = Some(match flag_value(&mut it, a, usage) {
+                    "jsonl" => CheckFormat::Jsonl,
+                    "chrome" => CheckFormat::Chrome,
+                    "folded" => CheckFormat::Folded,
+                    name => {
+                        eprintln!("unknown trace format `{name}` (jsonl|chrome|folded)");
+                        std::process::exit(2);
+                    }
+                })
             }
             other if file.is_none() => file = Some(other.to_string()),
             other => {
@@ -488,19 +533,21 @@ fn run_trace_check(opts: &Opts) {
         eprintln!("failed to read {file}: {e}");
         std::process::exit(1);
     });
-    // Infer the format from the content when not given: a Chrome trace is a
-    // single JSON array, JSONL starts with an object.
-    let format = format.unwrap_or(if text.trim_start().starts_with('[') {
-        mcgp_runtime::trace::TraceFormat::Chrome
-    } else {
-        mcgp_runtime::trace::TraceFormat::Jsonl
+    // Infer the format from the content when not given: a Chrome trace is
+    // a single JSON array, JSONL starts with an object, and a collapsed
+    // profile is neither (its lines start with a frame name).
+    let format = format.unwrap_or(match text.trim_start().chars().next() {
+        Some('[') => CheckFormat::Chrome,
+        Some('{') => CheckFormat::Jsonl,
+        _ => CheckFormat::Folded,
     });
-    let checked = match format {
-        mcgp_runtime::trace::TraceFormat::Jsonl => mcgp_runtime::trace::validate_jsonl(&text),
-        mcgp_runtime::trace::TraceFormat::Chrome => mcgp_runtime::trace::validate_chrome(&text),
+    let (checked, unit) = match format {
+        CheckFormat::Jsonl => (mcgp_runtime::trace::validate_jsonl(&text), "events"),
+        CheckFormat::Chrome => (mcgp_runtime::trace::validate_chrome(&text), "events"),
+        CheckFormat::Folded => (mcgp_runtime::profile::validate_collapsed(&text), "stacks"),
     };
     match checked {
-        Ok(n) => println!("{file}: ok, {n} events ({format:?})"),
+        Ok(n) => println!("{file}: ok, {n} {unit} ({format:?})"),
         Err(e) => {
             eprintln!("{file}: invalid trace: {e}");
             std::process::exit(1);
@@ -570,6 +617,83 @@ fn run_bench_check(opts: &Opts) {
         std::process::exit(1);
     }
     println!("{file}: ok, {records} bench records");
+}
+
+/// `mcgp bench-gate <baseline> <fresh>`: the regression gate. Prints a
+/// one-object JSON verdict on stdout (a `checks` array with per-bench
+/// ratios plus a top-level `verdict`), a human summary on stderr. Exit 0
+/// on pass, 1 on regression, 2 on usage/schema errors — so CI can tell
+/// "it got slower" apart from "the gate itself broke".
+fn run_bench_gate(opts: &Opts) {
+    let usage = "usage: mcgp bench-gate <baseline-jsonl> <fresh-jsonl> \
+                 [--tolerance <x>] [--noise-floor-ms <ms>]";
+    let mut files: Vec<String> = Vec::new();
+    let mut config = mcgp_harness::bench_gate::GateConfig::default();
+    let mut it = opts.rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => config.tolerance = parse_value(flag_value(&mut it, a, usage), a),
+            "--noise-floor-ms" => {
+                let ms: f64 = parse_value(flag_value(&mut it, a, usage), a);
+                config.noise_floor_s = ms / 1000.0;
+            }
+            other if files.len() < 2 => files.push(other.to_string()),
+            other => die(format!("unexpected argument `{other}`\n{usage}")),
+        }
+    }
+    if files.len() != 2 {
+        die(usage);
+    }
+    if config.tolerance < 1.0 || !config.tolerance.is_finite() {
+        die(format!("--tolerance must be a finite ratio >= 1, got {}", config.tolerance));
+    }
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(format!("failed to read {path}: {e}")))
+    };
+    let parse = |path: &str| {
+        mcgp_harness::bench_gate::parse_bench_file(&read(path), path)
+            .unwrap_or_else(|e| die(format!("bench-gate: {e}")))
+    };
+    let baseline = parse(&files[0]);
+    let fresh = parse(&files[1]);
+    let report = mcgp_harness::bench_gate::gate(&baseline, &fresh, &config)
+        .unwrap_or_else(|e| die(format!("bench-gate: {e}")));
+    println!("{}", mcgp_runtime::json::ToJson::to_json(&report));
+    for c in &report.checks {
+        let tag = if c.regressed {
+            "REGRESSED"
+        } else if c.gated {
+            "ok"
+        } else {
+            "skipped (noise floor)"
+        };
+        eprintln!(
+            "bench-gate: {:<40} {:>9.4}s -> {:>9.4}s  x{:.2}  {tag}",
+            c.bench, c.baseline_median_s, c.fresh_median_s, c.ratio
+        );
+    }
+    for name in &report.only_baseline {
+        eprintln!("bench-gate: {name}: only in baseline (renamed or removed?)");
+    }
+    for name in &report.only_fresh {
+        eprintln!("bench-gate: {name}: only in fresh (new bench, not gated)");
+    }
+    if report.passed() {
+        eprintln!(
+            "bench-gate: pass — {} bench(es) within {:.1}x of {}",
+            report.checks.len(),
+            report.tolerance,
+            files[0]
+        );
+    } else {
+        eprintln!(
+            "bench-gate: FAIL — {} of {} bench(es) regressed past {:.1}x",
+            report.regressions().count(),
+            report.checks.len(),
+            report.tolerance
+        );
+        std::process::exit(1);
+    }
 }
 
 fn run_adaptive(scale: Scale, out: Option<&std::path::Path>) {
@@ -917,9 +1041,11 @@ fn run_serve_request(opts: &Opts) {
 /// stdout (redirect into `BENCH_serve.json`), progress on stderr.
 fn run_bench(opts: &Opts) {
     let usage = "usage: mcgp bench serve [--nvtxs <n>] [--requests <n>] [--clients <n>] \
-                 [--cold-every <n>] [--workers <n>]";
+                 [--cold-every <n>] [--workers <n>] [--profile <f.folded>] [--profile-hz <n>]";
     let mut cfg = mcgp_serve::bench::BenchServeConfig::default();
     let mut which: Option<String> = None;
+    let mut profile_file: Option<String> = None;
+    let mut profile_hz = 997u32;
     let mut it = opts.rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -928,6 +1054,8 @@ fn run_bench(opts: &Opts) {
             "--clients" => cfg.clients = parse_value(flag_value(&mut it, a, usage), a),
             "--cold-every" => cfg.cold_every = parse_value(flag_value(&mut it, a, usage), a),
             "--workers" => cfg.workers = parse_value(flag_value(&mut it, a, usage), a),
+            "--profile" => profile_file = Some(flag_value(&mut it, a, usage).to_string()),
+            "--profile-hz" => profile_hz = parse_value(flag_value(&mut it, a, usage), a),
             other if which.is_none() => which = Some(other.to_string()),
             other => die(format!("unexpected argument `{other}`\n{usage}")),
         }
@@ -937,10 +1065,32 @@ fn run_bench(opts: &Opts) {
         Some(other) => die(format!("unknown bench target `{other}` (only `serve`)\n{usage}")),
         None => die(usage),
     }
+    // The load generator runs its daemon in-process, so one profiler
+    // session sees both the clients and the server workers.
+    let profiler = profile_file
+        .as_ref()
+        .map(|_| mcgp_runtime::profile::Profiler::start(profile_hz));
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     mcgp_serve::bench::run_serve_bench(&cfg, &mut out).unwrap_or_else(|e| {
         eprintln!("mcgp bench serve: {e}");
         std::process::exit(1);
     });
+    if let (Some(path), Some(profiler)) = (&profile_file, profiler) {
+        let stacks = profiler.stop();
+        let folded = stacks.render();
+        if let Err(e) = mcgp_runtime::profile::validate_collapsed(&folded) {
+            eprintln!("internal error: profiler produced invalid collapsed output: {e}");
+            std::process::exit(1);
+        }
+        std::fs::write(path, &folded).unwrap_or_else(|e| {
+            eprintln!("failed to write profile {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "mcgp bench serve: wrote {} samples over {} stack(s) to {path} (hz {profile_hz})",
+            stacks.total_samples(),
+            stacks.len()
+        );
+    }
 }

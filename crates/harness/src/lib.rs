@@ -12,11 +12,14 @@
 //!   reservation refinement (A1), unrecoverable initial imbalance (A2), and
 //!   quality drop-off with growing constraint counts (A3).
 //! * [`report`] — plain-text table rendering and JSON record output.
+//! * [`bench_gate`] — the regression gate comparing a fresh bench JSONL
+//!   report against the committed `BENCH_*.json` baselines.
 //!
 //! The `mcgp` binary exposes all of these as subcommands; see
 //! `EXPERIMENTS.md` at the repository root for the recorded paper-vs-
 //! measured comparison.
 
+pub mod bench_gate;
 pub mod exp_ablation;
 pub mod exp_adaptive;
 pub mod exp_quality;

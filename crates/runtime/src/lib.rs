@@ -27,6 +27,10 @@
 //! * [`metrics`] — a named counter/gauge/histogram registry for the
 //!   open-ended metrics tracing wants (gain distributions, boundary
 //!   sizes), active only while tracing is enabled.
+//! * [`profile`] — a span-stack sampling profiler: spans publish to
+//!   lock-free per-thread slots, a sampler thread tallies collapsed
+//!   stacks (Brendan Gregg `a;b;c 42` format). Off by default; one
+//!   relaxed load when off.
 //! * [`net`] — hand-rolled HTTP/1.1 request/response primitives over
 //!   `std::net`, the transport under `mcgp serve` (hermetic policy: no
 //!   hyper/tokio).
@@ -36,11 +40,13 @@ pub mod metrics;
 pub mod net;
 pub mod phase;
 pub mod pool;
+pub mod profile;
 pub mod rng;
 pub mod trace;
 
 pub use json::{Json, ToJson};
-pub use metrics::{Histogram, MetricsReport};
+pub use metrics::{Histogram, MetricsReport, WindowedHistogram};
 pub use phase::{Counter, Phase, PhaseReport};
+pub use profile::{CollapsedStacks, Profiler};
 pub use rng::{Rng, SliceRandom};
 pub use trace::{FieldValue, Span, TraceEvent, TraceFormat};

@@ -61,6 +61,10 @@ where
         return (0..n).map(f).collect();
     }
     let next = AtomicUsize::new(0);
+    // Workers adopt the spawning thread's published span stack as a
+    // prefix, so profiler samples taken on a worker attribute its time
+    // under the span that dispatched the parallel region.
+    let profile_prefix = crate::profile::current_stack_ids();
     let mut buckets: Vec<Vec<(usize, T)>> = Vec::new();
     let mut reports: Vec<WorkerReport> = Vec::new();
     std::thread::scope(|scope| {
@@ -68,7 +72,9 @@ where
             .map(|w| {
                 let f = &f;
                 let next = &next;
+                let profile_prefix = &profile_prefix;
                 scope.spawn(move || {
+                    let _pg = crate::profile::adopt_stack(profile_prefix);
                     let start = std::time::Instant::now();
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
@@ -151,6 +157,7 @@ where
     if threads_for(n) <= 1 || n <= 1 {
         return items.into_iter().enumerate().map(|(i, a)| f(i, a)).collect();
     }
+    let profile_prefix = crate::profile::current_stack_ids();
     let mut out: Vec<T> = Vec::with_capacity(n);
     let mut reports: Vec<WorkerReport> = Vec::new();
     std::thread::scope(|scope| {
@@ -159,7 +166,9 @@ where
             .enumerate()
             .map(|(i, item)| {
                 let f = &f;
+                let profile_prefix = &profile_prefix;
                 scope.spawn(move || {
+                    let _pg = crate::profile::adopt_stack(profile_prefix);
                     let v = f(i, item);
                     (
                         v,

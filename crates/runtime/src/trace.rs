@@ -235,20 +235,26 @@ pub fn instant(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
 }
 
 /// A scoped span guard: Begin on construction, End on drop. When tracing is
-/// disabled the guard is inert.
+/// disabled the guard is inert (though it may still publish a profiler
+/// frame — see [`crate::profile`]).
 #[must_use = "a span closes when dropped; binding it to _ closes it immediately"]
 pub struct Span {
     name: &'static str,
     armed: bool,
+    /// True when construction pushed a [`crate::profile`] frame; the drop
+    /// pops exactly then, so pushes stay balanced even if profiling is
+    /// toggled while the span is open.
+    profiled: bool,
     end_fields: Vec<(&'static str, FieldValue)>,
 }
 
 impl Span {
-    /// An inert span (used by the macros when tracing is off).
+    /// An inert span (used by the macros when both observers are off).
     pub fn disabled(name: &'static str) -> Span {
         Span {
             name,
             armed: false,
+            profiled: false,
             end_fields: Vec::new(),
         }
     }
@@ -264,6 +270,9 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.profiled {
+            crate::profile::pop_frame();
+        }
         if self.armed {
             // Emit the End unconditionally so B/E stay balanced even if
             // tracing was switched off while the span was open.
@@ -279,10 +288,18 @@ impl Drop for Span {
 }
 
 /// Opens a span. Prefer the [`span!`] macro, which skips field construction
-/// when tracing is off.
+/// when neither tracing nor profiling is on. Publishes the span to the
+/// [`crate::profile`] slot when profiling is enabled, independent of the
+/// tracing flag.
 pub fn span(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Span {
+    let profiled = crate::profile::enabled();
+    if profiled {
+        crate::profile::push_frame(name);
+    }
     if !enabled() {
-        return Span::disabled(name);
+        let mut s = Span::disabled(name);
+        s.profiled = profiled;
+        return s;
     }
     push_event(TraceEvent {
         ts_ns: now_ns(),
@@ -294,16 +311,18 @@ pub fn span(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Span
     Span {
         name,
         armed: true,
+        profiled,
         end_fields: Vec::new(),
     }
 }
 
 /// Opens a scoped span: `let _s = span!("coarsen_level", level = lvl);`.
-/// Field expressions are not evaluated when tracing is disabled.
+/// Field expressions are not evaluated unless tracing or profiling is
+/// enabled (two relaxed loads on the all-off fast path).
 #[macro_export]
 macro_rules! span {
     ($name:literal $(, $key:ident = $val:expr)* $(,)?) => {
-        if $crate::trace::enabled() {
+        if $crate::trace::enabled() || $crate::profile::enabled() {
             $crate::trace::span(
                 $name,
                 ::std::vec![$((stringify!($key), $crate::trace::FieldValue::from($val))),*],

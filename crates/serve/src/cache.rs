@@ -84,6 +84,38 @@ impl CachedEntry {
     }
 }
 
+/// How a [`HierarchyCache::get_or_build`] lookup was satisfied. The
+/// daemon reports this verbatim (`X-Mcgp-Cache: miss|hit|wait`) and the
+/// bench buckets latency samples by it — a coalesced wait costs a build's
+/// wall-clock without doing the build, so lumping it with resident hits
+/// would poison any steady-state latency quantile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheVerdict {
+    /// This lookup ran the build closure.
+    Miss,
+    /// Served from a resident entry; no waiting, no building.
+    Hit,
+    /// Waited for a concurrent build of the same key, then shared it.
+    Coalesced,
+}
+
+impl CacheVerdict {
+    /// True when the caller did not pay for coarsening itself (a resident
+    /// hit or a coalesced wait) — the wire meaning of "reused".
+    pub fn reused(self) -> bool {
+        !matches!(self, CacheVerdict::Miss)
+    }
+
+    /// The `X-Mcgp-Cache` header value.
+    pub fn header_value(self) -> &'static str {
+        match self {
+            CacheVerdict::Miss => "miss",
+            CacheVerdict::Hit => "hit",
+            CacheVerdict::Coalesced => "wait",
+        }
+    }
+}
+
 enum Slot {
     /// A request is coarsening this graph right now; wait, don't duplicate.
     Building,
@@ -121,6 +153,19 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+impl CacheStats {
+    /// Fraction of lookups that skipped coarsening (resident hits plus
+    /// coalesced waits, over all lookups); 0 before the first lookup.
+    pub fn hit_ratio(&self) -> f64 {
+        let lookups = self.hits + self.misses + self.coalesced;
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / lookups as f64
+        }
+    }
+}
+
 /// Bounded LRU cache of coarsening hierarchies keyed by [`fingerprint`],
 /// with coalescing of concurrent builds.
 pub struct HierarchyCache {
@@ -141,12 +186,17 @@ impl HierarchyCache {
 
     /// Returns the entry for `key`, building it with `build` on a miss.
     ///
-    /// The boolean is `true` when the caller paid no coarsening: a
-    /// resident hit, or a coalesced wait on another request's build. On
-    /// a build error the placeholder is removed (waiters retry with
-    /// their own closure) and the error is returned; a panicking build
-    /// likewise cleans up before the panic resumes.
-    pub fn get_or_build<F>(&self, key: u64, build: F) -> Result<(Arc<CachedEntry>, bool), McgpError>
+    /// The [`CacheVerdict`] says how the lookup was satisfied: `Miss`
+    /// (this call built), `Hit` (resident), or `Coalesced` (waited for a
+    /// concurrent build of the same key). On a build error the
+    /// placeholder is removed (waiters retry with their own closure) and
+    /// the error is returned; a panicking build likewise cleans up before
+    /// the panic resumes.
+    pub fn get_or_build<F>(
+        &self,
+        key: u64,
+        build: F,
+    ) -> Result<(Arc<CachedEntry>, CacheVerdict), McgpError>
     where
         F: FnOnce() -> Result<CachedEntry, McgpError>,
     {
@@ -160,12 +210,14 @@ impl HierarchyCache {
                     g.tick += 1;
                     let t = g.tick;
                     g.map.get_mut(&key).unwrap().1 = t;
-                    if waited {
+                    let verdict = if waited {
                         g.coalesced += 1;
+                        CacheVerdict::Coalesced
                     } else {
                         g.hits += 1;
-                    }
-                    return Ok((e, true));
+                        CacheVerdict::Hit
+                    };
+                    return Ok((e, verdict));
                 }
                 Some((Slot::Building, _)) => {
                     waited = true;
@@ -201,7 +253,7 @@ impl HierarchyCache {
                             self.evict_over_budget(&mut g2, key);
                             drop(g2);
                             self.cond.notify_all();
-                            return Ok((entry, false));
+                            return Ok((entry, CacheVerdict::Miss));
                         }
                     }
                 }
@@ -284,14 +336,15 @@ mod tests {
             builds.fetch_add(1, Ordering::SeqCst);
             Ok(entry(400, 3))
         };
-        let (e1, hit1) = cache.get_or_build(7, build).unwrap();
-        assert!(!hit1);
+        let (e1, v1) = cache.get_or_build(7, build).unwrap();
+        assert_eq!(v1, CacheVerdict::Miss);
+        assert!(!v1.reused());
         // A hit must not invoke the closure at all — different (k, ε)
         // requests on the same fingerprint share the hierarchy.
-        let (e2, hit2) = cache
+        let (e2, v2) = cache
             .get_or_build(7, || panic!("hit path must not build"))
             .unwrap();
-        assert!(hit2);
+        assert_eq!(v2, CacheVerdict::Hit);
         assert!(Arc::ptr_eq(&e1, &e2));
         assert_eq!(builds.load(Ordering::SeqCst), 1);
         let s = cache.stats();
@@ -312,9 +365,9 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.entries, s.evictions), (2, 1));
         // 2 was evicted; 1 and 3 are resident.
-        let (_, hit1) = cache.get_or_build(1, || unreachable!()).unwrap();
-        let (_, hit3) = cache.get_or_build(3, || unreachable!()).unwrap();
-        assert!(hit1 && hit3);
+        let (_, v1) = cache.get_or_build(1, || unreachable!()).unwrap();
+        let (_, v3) = cache.get_or_build(3, || unreachable!()).unwrap();
+        assert!(v1.reused() && v3.reused());
         let rebuilt = AtomicUsize::new(0);
         cache
             .get_or_build(2, || {
@@ -333,8 +386,8 @@ mod tests {
         cache.get_or_build(2, || Ok(entry(300, 2))).unwrap();
         let s = cache.stats();
         assert_eq!((s.entries, s.evictions), (1, 1));
-        let (_, hit) = cache.get_or_build(2, || unreachable!()).unwrap();
-        assert!(hit, "latest entry is the resident one");
+        let (_, v) = cache.get_or_build(2, || unreachable!()).unwrap();
+        assert_eq!(v, CacheVerdict::Hit, "latest entry is the resident one");
     }
 
     #[test]
@@ -347,8 +400,8 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.entries, s.bytes), (0, 0));
         // The key is buildable afterwards.
-        let (_, hit) = cache.get_or_build(9, || Ok(entry(300, 9))).unwrap();
-        assert!(!hit);
+        let (_, v) = cache.get_or_build(9, || Ok(entry(300, 9))).unwrap();
+        assert_eq!(v, CacheVerdict::Miss);
         assert_eq!(cache.stats().entries, 1);
     }
 
@@ -360,8 +413,8 @@ mod tests {
         }));
         assert!(boom.is_err());
         assert_eq!(cache.stats().entries, 0);
-        let (_, hit) = cache.get_or_build(5, || Ok(entry(300, 5))).unwrap();
-        assert!(!hit);
+        let (_, v) = cache.get_or_build(5, || Ok(entry(300, 5))).unwrap();
+        assert_eq!(v, CacheVerdict::Miss);
     }
 
     #[test]
@@ -373,7 +426,7 @@ mod tests {
             let cache = cache.clone();
             let builds = builds.clone();
             handles.push(std::thread::spawn(move || {
-                let (_, reused) = cache
+                let (_, verdict) = cache
                     .get_or_build(11, || {
                         builds.fetch_add(1, Ordering::SeqCst);
                         // Hold the Building slot long enough for the
@@ -382,12 +435,24 @@ mod tests {
                         Ok(entry(400, 11))
                     })
                     .unwrap();
-                reused
+                verdict
             }));
         }
-        let reused: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let verdicts: Vec<CacheVerdict> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one build");
-        assert_eq!(reused.iter().filter(|&&r| !r).count(), 1);
-        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(
+            verdicts.iter().filter(|v| **v == CacheVerdict::Miss).count(),
+            1
+        );
+        // Latecomers that waited report Coalesced, never Hit: they paid a
+        // build's wall-clock and must not be counted as steady-state.
+        assert!(verdicts
+            .iter()
+            .all(|v| matches!(v, CacheVerdict::Miss | CacheVerdict::Coalesced)));
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.coalesced, 3);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
     }
 }

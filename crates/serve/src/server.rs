@@ -25,7 +25,7 @@
 //! answered with a 500, and never takes down the daemon or poisons the
 //! hierarchy cache.
 
-use crate::cache::{fingerprint, CacheStats, CachedEntry, HierarchyCache};
+use crate::cache::{fingerprint, CacheStats, CacheVerdict, CachedEntry, HierarchyCache};
 use crate::protocol::{
     done_line, meta_line, part_line, GraphFormat, PartitionParams, RequestError, PART_CHUNK,
 };
@@ -34,14 +34,15 @@ use mcgp_core::{HierarchySnapshot, PartitionConfig, PartitionResult};
 use mcgp_graph::check::check_graph;
 use mcgp_graph::io::{graph_from_json, read_metis};
 use mcgp_graph::{CheckLevel, McgpError};
-use mcgp_runtime::metrics::{Histogram, MetricsReport};
+use mcgp_runtime::metrics::{MetricsReport, PromWriter, WindowedHistogram};
 use mcgp_runtime::net::{
     read_request, write_response, Limits, NetError, Request, ResponseStream,
 };
 use mcgp_runtime::phase::{Counter, Phase, PhaseReport};
+use mcgp_runtime::profile::Profiler;
 use mcgp_runtime::trace::{self, TraceEvent};
 use mcgp_runtime::{Json, ToJson};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -52,6 +53,18 @@ use std::time::{Duration, Instant};
 /// Retained trace events are capped so a long-lived daemon with tracing
 /// enabled cannot grow without bound.
 const TRACE_EVENT_CAP: usize = 100_000;
+
+/// Sliding latency window: 8 epochs × 16 samples. Epochs tick on sample
+/// count (see [`WindowedHistogram`]), so after ~a window of steady-state
+/// traffic the windowed quantiles shed any cold-start outliers.
+const LATENCY_EPOCHS: usize = 8;
+/// See [`LATENCY_EPOCHS`].
+const LATENCY_EPOCH_LEN: u64 = 16;
+
+/// `GET /profile` sampling sessions are process-global (the profiler owns
+/// one enable flag), so concurrent requests get 503 instead of corrupting
+/// each other's tallies.
+static PROFILE_SESSION: Mutex<()> = Mutex::new(());
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -82,29 +95,60 @@ impl Default for ServeConfig {
 
 /// Always-on daemon counters (the trace-gated named-metrics registry is
 /// aggregated separately).
-#[derive(Default)]
 struct ServeStats {
     requests: AtomicU64,
     ok: AtomicU64,
     errors: AtomicU64,
-    latency_us: Mutex<Histogram>,
+    /// Microsecond latency of successful `/partition` requests: lifetime
+    /// histogram + sliding window for steady-state quantiles.
+    latency_us: Mutex<WindowedHistogram>,
+    /// Per-(route, outcome) request counts. Outcomes for `/partition` are
+    /// the cache verdict (`miss`/`hit`/`wait`) or `error`; other routes
+    /// count `ok`/`error`.
+    by_route: Mutex<BTreeMap<(&'static str, &'static str), u64>>,
     phases: Mutex<PhaseReport>,
     registry: Mutex<MetricsReport>,
     trace_events: Mutex<Vec<TraceEvent>>,
 }
 
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats {
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency_us: Mutex::new(WindowedHistogram::new(LATENCY_EPOCHS, LATENCY_EPOCH_LEN)),
+            by_route: Mutex::new(BTreeMap::new()),
+            phases: Mutex::new(PhaseReport::default()),
+            registry: Mutex::new(MetricsReport::default()),
+            trace_events: Mutex::new(Vec::new()),
+        }
+    }
+}
+
 impl ServeStats {
-    fn record_ok(&self, latency_us: Option<u64>) {
+    fn count_route(&self, route: &'static str, outcome: &'static str) {
+        *self
+            .by_route
+            .lock()
+            .unwrap()
+            .entry((route, outcome))
+            .or_insert(0) += 1;
+    }
+
+    fn record_ok(&self, route: &'static str, outcome: &'static str, latency_us: Option<u64>) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.ok.fetch_add(1, Ordering::Relaxed);
+        self.count_route(route, outcome);
         if let Some(us) = latency_us {
             self.latency_us.lock().unwrap().record(us as i64);
         }
     }
 
-    fn record_error(&self) {
+    fn record_error(&self, route: &'static str) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.errors.fetch_add(1, Ordering::Relaxed);
+        self.count_route(route, "error");
     }
 }
 
@@ -145,6 +189,12 @@ impl ServerHandle {
     /// The same JSON document `GET /metrics` serves.
     pub fn metrics_json(&self) -> Json {
         metrics_json(&self.state)
+    }
+
+    /// The same Prometheus text document `GET /metrics?format=prom`
+    /// serves.
+    pub fn metrics_prom(&self) -> String {
+        metrics_prom(&self.state)
     }
 
     /// Drains trace events retained from traced requests (empty unless
@@ -258,7 +308,7 @@ fn handle_connection(state: &State, mut stream: TcpStream) {
         // Nothing arrived (port scan, probe, client gave up): not a request.
         Err(NetError::Closed) => {}
         Err(e) => {
-            state.stats.record_error();
+            state.stats.record_error("ingest");
             let (status, kind) = match &e {
                 NetError::Timeout => (408, "timeout"),
                 NetError::TooLarge { .. } => (413, "too_large"),
@@ -283,21 +333,47 @@ fn error_body(kind: &str, detail: &str) -> String {
     line
 }
 
+/// True when the client asked for Prometheus text exposition: an explicit
+/// `?format=prom`, or an `Accept` header preferring `text/plain` (the
+/// exposition content type Prometheus scrapers send).
+fn wants_prom(req: &Request) -> bool {
+    match req.query_param("format") {
+        Some("prom") | Some("prometheus") => return true,
+        Some(_) => return false,
+        None => {}
+    }
+    req.header("accept")
+        .is_some_and(|a| a.contains("text/plain") || a.contains("openmetrics"))
+}
+
 fn route(state: &State, stream: &mut TcpStream, req: Request, t0: Instant) {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/partition") => handle_partition(state, stream, req, t0),
         ("GET", "/metrics") => {
-            let mut body = metrics_json(state).to_string();
-            body.push('\n');
-            state.stats.record_ok(None);
-            let _ = write_response(stream, 200, "application/json", &[], body.as_bytes());
+            if wants_prom(&req) {
+                let body = metrics_prom(state);
+                state.stats.record_ok("metrics", "ok", None);
+                let _ = write_response(
+                    stream,
+                    200,
+                    "text/plain; version=0.0.4",
+                    &[],
+                    body.as_bytes(),
+                );
+            } else {
+                let mut body = metrics_json(state).to_string();
+                body.push('\n');
+                state.stats.record_ok("metrics", "ok", None);
+                let _ = write_response(stream, 200, "application/json", &[], body.as_bytes());
+            }
         }
+        ("GET", "/profile") => handle_profile(state, stream, &req),
         ("GET", "/healthz") => {
-            state.stats.record_ok(None);
+            state.stats.record_ok("healthz", "ok", None);
             let _ = write_response(stream, 200, "application/json", &[], b"{\"ok\":true}\n");
         }
         ("POST", "/shutdown") => {
-            state.stats.record_ok(None);
+            state.stats.record_ok("shutdown", "ok", None);
             let _ = write_response(
                 stream,
                 200,
@@ -307,17 +383,47 @@ fn route(state: &State, stream: &mut TcpStream, req: Request, t0: Instant) {
             );
             state.shutdown.store(true, Ordering::SeqCst);
         }
-        (_, "/partition" | "/metrics" | "/healthz" | "/shutdown") => {
-            state.stats.record_error();
+        (_, "/partition" | "/metrics" | "/healthz" | "/shutdown" | "/profile") => {
+            state.stats.record_error("method");
             let body = error_body("method_not_allowed", &format!("{} not allowed here", req.method));
             let _ = write_response(stream, 405, "application/json", &[], body.as_bytes());
         }
         (_, path) => {
-            state.stats.record_error();
+            state.stats.record_error("not_found");
             let body = error_body("not_found", &format!("no such endpoint: {path}"));
             let _ = write_response(stream, 404, "application/json", &[], body.as_bytes());
         }
     }
+}
+
+/// `GET /profile?seconds=N&hz=H`: runs one span-stack sampling session on
+/// the live daemon and returns the collapsed-stack document as
+/// `text/plain`. `seconds` is clamped to `[0, 60]` (fractions allowed,
+/// default 1), `hz` to the profiler's own bounds (default 997 — a prime,
+/// so sampling doesn't phase-lock with periodic work). One session at a
+/// time: concurrent requests get 503 rather than sharing the process-wide
+/// enable flag.
+fn handle_profile(state: &State, stream: &mut TcpStream, req: &Request) {
+    let seconds = req
+        .query_param("seconds")
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.0, 60.0);
+    let hz = req
+        .query_param("hz")
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(997);
+    let Ok(_session) = PROFILE_SESSION.try_lock() else {
+        state.stats.record_error("profile");
+        let body = error_body("profiler_busy", "another /profile session is running");
+        let _ = write_response(stream, 503, "application/json", &[], body.as_bytes());
+        return;
+    };
+    let profiler = Profiler::start(hz);
+    std::thread::sleep(Duration::from_secs_f64(seconds));
+    let folded = profiler.stop().render();
+    state.stats.record_ok("profile", "ok", None);
+    let _ = write_response(stream, 200, "text/plain", &[], folded.as_bytes());
 }
 
 /// Parse + validate + coarsen (through the cache) + partition. Runs on
@@ -329,8 +435,8 @@ fn compute(
     format: GraphFormat,
     body: &[u8],
     p: &PartitionParams,
-) -> Result<(Arc<CachedEntry>, bool, PartitionResult), RequestError> {
-    let (entry, reused) = state
+) -> Result<(Arc<CachedEntry>, CacheVerdict, PartitionResult), RequestError> {
+    let (entry, verdict) = state
         .cache
         .get_or_build(fp, || {
             let graph = match format {
@@ -370,7 +476,7 @@ fn compute(
         ..PartitionConfig::default()
     };
     let result = entry.snapshot.partition(&entry.graph, p.nparts, &cfg);
-    Ok((entry, reused, result))
+    Ok((entry, verdict, result))
 }
 
 fn handle_partition(state: &State, stream: &mut TcpStream, req: Request, t0: Instant) {
@@ -408,34 +514,38 @@ fn handle_partition(state: &State, stream: &mut TcpStream, req: Request, t0: Ins
             span.record("outcome", err.parts().1);
             finish_error(state, stream, &err);
         }
-        Ok((entry, reused, result)) => {
+        Ok((entry, verdict, result)) => {
             state.stats.phases.lock().unwrap().merge(&report);
             let coarsen_us = (report.seconds(Phase::Coarsen) * 1e6).round() as u64;
             let total_us = t0.elapsed().as_micros() as u64;
-            span.record("outcome", if reused { "hit" } else { "miss" });
+            span.record("outcome", verdict.header_value());
             span.record("coarsen_us", coarsen_us);
             span.record("edge_cut", result.quality.edge_cut);
             let headers = [
                 (
                     "X-Mcgp-Cache".to_string(),
-                    if reused { "hit" } else { "miss" }.to_string(),
+                    verdict.header_value().to_string(),
                 ),
                 ("X-Mcgp-Trace-Id".to_string(), trace_id),
                 ("X-Mcgp-Coarsen-Us".to_string(), coarsen_us.to_string()),
                 ("X-Mcgp-Total-Us".to_string(), total_us.to_string()),
             ];
             match write_success(stream, &headers, fp, &params, &entry, &result) {
-                Ok(()) => state.stats.record_ok(Some(total_us)),
+                Ok(()) => {
+                    state
+                        .stats
+                        .record_ok("partition", verdict.header_value(), Some(total_us))
+                }
                 // The response could not be delivered (client went away):
                 // the work succeeded but the request did not.
-                Err(_) => state.stats.record_error(),
+                Err(_) => state.stats.record_error("partition"),
             }
         }
     }
 }
 
 fn finish_error(state: &State, stream: &mut TcpStream, err: &RequestError) {
-    state.stats.record_error();
+    state.stats.record_error("partition");
     let (status, _, _) = err.parts();
     let _ = write_response(
         stream,
@@ -497,6 +607,7 @@ fn metrics_json(state: &State) -> Json {
     let stats = &state.stats;
     let cache = state.cache.stats();
     let latency = stats.latency_us.lock().unwrap().clone();
+    let by_route = stats.by_route.lock().unwrap().clone();
     let phases = stats.phases.lock().unwrap().clone();
     let registry = stats.registry.lock().unwrap().clone();
     let mut phase_pairs: Vec<(String, Json)> = Phase::ALL
@@ -506,6 +617,11 @@ fn metrics_json(state: &State) -> Json {
     for &c in Counter::ALL {
         phase_pairs.push((c.name().to_string(), Json::UInt(phases.counter(c))));
     }
+    let window = latency.window();
+    let route_pairs: Vec<(String, Json)> = by_route
+        .iter()
+        .map(|((route, outcome), n)| (format!("{route}.{outcome}"), Json::UInt(*n)))
+        .collect();
     Json::obj([
         (
             "requests",
@@ -513,6 +629,7 @@ fn metrics_json(state: &State) -> Json {
         ),
         ("ok", Json::UInt(stats.ok.load(Ordering::Relaxed))),
         ("errors", Json::UInt(stats.errors.load(Ordering::Relaxed))),
+        ("routes", Json::Obj(route_pairs)),
         (
             "cache",
             Json::obj([
@@ -523,10 +640,132 @@ fn metrics_json(state: &State) -> Json {
                 ("misses", Json::UInt(cache.misses)),
                 ("coalesced", Json::UInt(cache.coalesced)),
                 ("evictions", Json::UInt(cache.evictions)),
+                ("hit_ratio", Json::Float(cache.hit_ratio())),
             ]),
         ),
-        ("latency_us", latency.to_json()),
+        ("latency_us", latency.lifetime().to_json()),
+        (
+            // Steady-state quantiles over the sliding sample window —
+            // unlike `latency_us`, these forget the cold start.
+            "latency_window_us",
+            Json::obj([
+                ("count", Json::UInt(window.count)),
+                ("p50", Json::Int(window.quantile(0.5))),
+                ("p99", Json::Int(window.quantile(0.99))),
+                ("min", Json::Int(window.min)),
+                ("max", Json::Int(window.max)),
+                ("epochs", Json::UInt(latency.epochs() as u64)),
+                ("epoch_len", Json::UInt(latency.epoch_len())),
+            ]),
+        ),
         ("phases", Json::Obj(phase_pairs)),
         ("registry", registry.to_json()),
     ])
+}
+
+/// The Prometheus text-exposition rendering of the daemon's metrics —
+/// the same facts as [`metrics_json`], in the format any scrape stack
+/// ingests. Validated in CI by `mcgp-runtime`'s exposition validator.
+fn metrics_prom(state: &State) -> String {
+    let stats = &state.stats;
+    let cache = state.cache.stats();
+    let latency = stats.latency_us.lock().unwrap().clone();
+    let by_route = stats.by_route.lock().unwrap().clone();
+    let phases = stats.phases.lock().unwrap().clone();
+    let window = latency.window();
+    let mut w = PromWriter::new();
+    for ((route, outcome), n) in &by_route {
+        w.counter(
+            "mcgp_requests_total",
+            "Requests by route and outcome.",
+            &[("route", route), ("outcome", outcome)],
+            *n,
+        );
+    }
+    w.counter(
+        "mcgp_errors_total",
+        "Requests that failed.",
+        &[],
+        stats.errors.load(Ordering::Relaxed),
+    );
+    w.gauge(
+        "mcgp_cache_entries",
+        "Resident hierarchy-cache entries.",
+        &[],
+        cache.entries as f64,
+    );
+    w.gauge(
+        "mcgp_cache_bytes",
+        "Bytes charged by resident cache entries.",
+        &[],
+        cache.bytes as f64,
+    );
+    w.gauge(
+        "mcgp_cache_budget_bytes",
+        "Cache byte budget.",
+        &[],
+        cache.budget as f64,
+    );
+    for (result, n) in [
+        ("hit", cache.hits),
+        ("miss", cache.misses),
+        ("wait", cache.coalesced),
+    ] {
+        w.counter(
+            "mcgp_cache_lookups_total",
+            "Hierarchy-cache lookups by result.",
+            &[("result", result)],
+            n,
+        );
+    }
+    w.counter(
+        "mcgp_cache_evictions_total",
+        "Entries evicted to fit the cache budget.",
+        &[],
+        cache.evictions,
+    );
+    w.gauge(
+        "mcgp_cache_hit_ratio",
+        "Fraction of lookups that skipped coarsening.",
+        &[],
+        cache.hit_ratio(),
+    );
+    w.histogram(
+        "mcgp_request_latency_seconds",
+        "Lifetime latency of successful partition requests.",
+        &[],
+        latency.lifetime(),
+        1e-6,
+    );
+    for (q, v) in [("0.5", window.quantile(0.5)), ("0.99", window.quantile(0.99))] {
+        w.gauge(
+            "mcgp_request_latency_window_seconds",
+            "Windowed (steady-state) partition latency quantiles.",
+            &[("quantile", q)],
+            v as f64 * 1e-6,
+        );
+    }
+    w.gauge(
+        "mcgp_request_latency_window_count",
+        "Samples in the sliding latency window.",
+        &[],
+        window.count as f64,
+    );
+    for &p in Phase::ALL.iter() {
+        w.gauge(
+            "mcgp_phase_seconds",
+            "Accumulated partitioner phase time.",
+            &[("phase", p.name())],
+            phases.seconds(p),
+        );
+    }
+    for &c in Counter::ALL {
+        w.counter(
+            "mcgp_phase_ops_total",
+            "Accumulated partitioner phase counters.",
+            &[("counter", c.name())],
+            phases.counter(c),
+        );
+    }
+    w.finish()
 }

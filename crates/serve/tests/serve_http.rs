@@ -341,6 +341,142 @@ fn slow_client_gets_a_request_timeout() {
 }
 
 #[test]
+fn prom_metrics_validate_and_report_windowed_quantiles() {
+    let graph = mrng_like(800, 5);
+    let body = metis_bytes(&graph);
+    let (addr, handle, thread) = start_default();
+
+    // One cold build, then enough identical hits to dominate the window.
+    for _ in 0..12 {
+        let resp = post(&addr, "/partition?k=4", &body);
+        assert_eq!(resp.status, 200, "{}", resp.text());
+    }
+
+    // Explicit format=prom query.
+    let prom = get(&addr, "/metrics?format=prom");
+    assert_eq!(prom.status, 200);
+    assert_eq!(
+        prom.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = prom.text();
+    let samples =
+        mcgp_runtime::metrics::validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    assert!(samples >= 20, "only {samples} sample lines:\n{text}");
+    for needle in [
+        "# TYPE mcgp_requests_total counter",
+        "mcgp_requests_total{route=\"partition\",outcome=\"hit\"} 11",
+        "mcgp_requests_total{route=\"partition\",outcome=\"miss\"} 1",
+        "# TYPE mcgp_cache_hit_ratio gauge",
+        "# TYPE mcgp_request_latency_seconds histogram",
+        "mcgp_request_latency_window_seconds{quantile=\"0.5\"}",
+        "mcgp_request_latency_window_seconds{quantile=\"0.99\"}",
+        "mcgp_cache_lookups_total{result=\"hit\"} 11",
+        "mcgp_cache_evictions_total 0",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+
+    // With warm traffic dominating, the windowed p50 must sit at
+    // steady-warm latency: far below the lifetime max (the cold build).
+    let json = Json::parse(get(&addr, "/metrics").text().trim()).unwrap();
+    let window = json.get("latency_window_us").unwrap();
+    let lifetime = json.get("latency_us").unwrap();
+    let wp50 = window.get("p50").unwrap().as_i64().unwrap();
+    let life_max = lifetime.get("max").unwrap().as_i64().unwrap();
+    let wins: i64 = window.get("count").unwrap().as_i64().unwrap();
+    assert!(wins >= 12, "window holds all recent samples: {wins}");
+    assert!(
+        wp50 <= life_max,
+        "windowed p50 {wp50} vs lifetime max {life_max}"
+    );
+    assert_eq!(json.get("cache").unwrap().get("hits").unwrap().as_i64(), Some(11));
+    let ratio = json
+        .get("cache")
+        .unwrap()
+        .get("hit_ratio")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!((ratio - 11.0 / 12.0).abs() < 1e-9, "hit_ratio {ratio}");
+    let routes = json.get("routes").unwrap();
+    assert_eq!(routes.get("partition.hit").unwrap().as_i64(), Some(11));
+    assert_eq!(routes.get("partition.miss").unwrap().as_i64(), Some(1));
+
+    // Accept-header negotiation reaches the same exposition.
+    let negotiated = http_request(
+        &addr,
+        "GET",
+        "/metrics",
+        &[("Accept", "text/plain")],
+        b"",
+        Some(Duration::from_secs(30)),
+    )
+    .unwrap();
+    assert_eq!(
+        negotiated.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    assert!(mcgp_runtime::metrics::validate_prometheus(&negotiated.text()).is_ok());
+
+    stop(&handle, thread);
+}
+
+#[test]
+fn profile_endpoint_returns_valid_collapsed_stacks() {
+    let graph = mrng_like(2000, 9);
+    let body = metis_bytes(&graph);
+    let (addr, handle, thread) = start_default();
+
+    // Sample while a background thread keeps the daemon partitioning, so
+    // the profiler has spans to observe.
+    let load_addr = addr.clone();
+    let load_body = body.clone();
+    let stop_flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_load = stop_flag.clone();
+    let loader = std::thread::spawn(move || {
+        let mut seed = 0u64;
+        while !stop_load.load(std::sync::atomic::Ordering::Relaxed) {
+            seed += 1;
+            let target = format!("/partition?k=4&seed={seed}");
+            let _ = http_request(
+                &load_addr,
+                "POST",
+                &target,
+                &[],
+                &load_body,
+                Some(Duration::from_secs(30)),
+            );
+        }
+    });
+
+    let prof = http_request(
+        &addr,
+        "GET",
+        "/profile?seconds=0.6&hz=1500",
+        &[],
+        b"",
+        Some(Duration::from_secs(30)),
+    )
+    .unwrap();
+    stop_flag.store(true, std::sync::atomic::Ordering::Relaxed);
+    loader.join().unwrap();
+    assert_eq!(prof.status, 200, "{}", prof.text());
+    let folded = prof.text();
+    let stacks = mcgp_runtime::profile::validate_collapsed(&folded)
+        .unwrap_or_else(|e| panic!("{e}\n{folded}"));
+    assert!(stacks >= 1, "profiler saw no samples:\n{folded}");
+    assert!(
+        folded.contains("hierarchy_build") || folded.contains("serve_request"),
+        "expected partition spans in:\n{folded}"
+    );
+    // Profiling is off again after the session: spans are free once more.
+    assert!(!mcgp_runtime::profile::enabled());
+
+    stop(&handle, thread);
+}
+
+#[test]
 fn shutdown_endpoint_drains_and_run_returns() {
     let (addr, _handle, thread) = start_default();
     let resp = post(&addr, "/shutdown", b"");

@@ -4,8 +4,9 @@
 # BENCH_coarsen.json / BENCH_serve.json (one JSONL record per bench:
 # median/min/max wall seconds over $SAMPLES samples; serve rows add
 # p50/p99 latency and throughput) at the repo root, then validates each
-# file's schema with `mcgp bench-check`. Future PRs compare their medians
-# against the committed files.
+# file's schema with `mcgp bench-check`, and finally runs the
+# `mcgp bench-gate` regression gate against the committed baselines
+# (non-fatal; GATE=off to skip, GATE=<ratio> to tune).
 #
 #   SAMPLES=5 scripts/bench.sh          # default 5 samples per bench
 #   scripts/bench.sh smoke              # filter benches by substring
@@ -17,6 +18,18 @@ SAMPLES="${SAMPLES:-5}"
 REFINE_OUT="${REFINE_OUT:-BENCH_refine.json}"
 COARSEN_OUT="${COARSEN_OUT:-BENCH_coarsen.json}"
 SERVE_OUT="${SERVE_OUT:-BENCH_serve.json}"
+# Fresh-vs-committed regression gate tolerance (`mcgp bench-gate`).
+# Loose by default: the gate flags order-of-magnitude breakage, the
+# committed medians are not lab-grade. GATE=off disables it.
+GATE="${GATE:-5.0}"
+
+# Snapshot the committed baselines before the runs below overwrite them,
+# so the gate at the end compares fresh numbers against what was there.
+BASE_DIR="$(mktemp -d)"
+trap 'rm -rf "$BASE_DIR"' EXIT
+for f in "$REFINE_OUT" "$COARSEN_OUT" "$SERVE_OUT"; do
+    [ -f "$f" ] && cp "$f" "$BASE_DIR/$(basename "$f")"
+done
 
 cargo build --release --offline -p mcgp-harness
 cargo bench --offline -p mcgp-bench --bench refine_boundary -- \
@@ -34,3 +47,20 @@ echo "bench: wrote $COARSEN_OUT"
 ./target/release/mcgp bench serve > "$SERVE_OUT"
 ./target/release/mcgp bench-check "$SERVE_OUT"
 echo "bench: wrote $SERVE_OUT"
+
+# Regression gate: fresh medians vs the pre-run snapshot of each
+# committed baseline. Non-fatal — the files are about to be committed as
+# the new baseline and machines differ — but the verdict goes to stderr
+# so an accidental order-of-magnitude regression is loud.
+if [ "$GATE" != "off" ]; then
+    for f in "$REFINE_OUT" "$COARSEN_OUT" "$SERVE_OUT"; do
+        base="$BASE_DIR/$(basename "$f")"
+        [ -f "$base" ] || continue
+        if ./target/release/mcgp bench-gate "$base" "$f" \
+            --tolerance "$GATE" > /dev/null; then
+            echo "bench: gate ok for $f (tolerance ${GATE}x)"
+        else
+            echo "bench: WARNING: $f regressed past ${GATE}x vs committed baseline" >&2
+        fi
+    done
+fi

@@ -24,6 +24,36 @@ test -s "$TRACE_DIR/smoke.trace.jsonl"
     --outfile "$TRACE_DIR/smoke.part"
 ./target/release/mcgp trace-check "$TRACE_DIR/smoke.trace.json" --format chrome
 
+# Profiler smoke: a profiled run must produce a valid non-empty collapsed
+# file and a partition byte-identical to the unprofiled run — the span
+# profiler is a pure observer (DESIGN.md, "Observability v2"). Both the
+# serial and the threaded coarsening paths must show up in the samples.
+./target/release/mcgp partition gen:mrng:60000:3 8 \
+    --profile "$TRACE_DIR/smoke.folded" --profile-hz 4000 \
+    --outfile "$TRACE_DIR/prof.part" > /dev/null
+test -s "$TRACE_DIR/smoke.folded"
+./target/release/mcgp trace-check "$TRACE_DIR/smoke.folded" --format folded
+grep -q "partition_kway" "$TRACE_DIR/smoke.folded"
+./target/release/mcgp partition gen:mrng:60000:3 8 \
+    --outfile "$TRACE_DIR/noprof.part" > /dev/null
+cmp "$TRACE_DIR/prof.part" "$TRACE_DIR/noprof.part"
+./target/release/mcgp partition gen:mrng:60000:3 8 --threads 4 \
+    --profile "$TRACE_DIR/smoke_t4.folded" --profile-hz 4000 \
+    --outfile "$TRACE_DIR/prof_t4.part" > /dev/null
+# Format inference: a collapsed file is neither '[' nor '{'.
+./target/release/mcgp trace-check "$TRACE_DIR/smoke_t4.folded"
+
+# Bench-gate smoke: the gate must pass comparing a committed baseline to
+# itself, and exit non-zero when an order-of-magnitude regression is
+# injected into every median.
+./target/release/mcgp bench-gate BENCH_coarsen.json BENCH_coarsen.json > /dev/null
+sed 's/"median_s":/"median_s":9/' BENCH_coarsen.json > "$TRACE_DIR/regressed.json"
+if ./target/release/mcgp bench-gate BENCH_coarsen.json "$TRACE_DIR/regressed.json" \
+    > /dev/null 2>&1; then
+    echo "verify: bench-gate accepted an injected 10x regression" >&2
+    exit 1
+fi
+
 # Bench smoke test: run the small refinement and coarsening benches and
 # fail on any drift in the JSONL result format (`mcgp bench-check`
 # validates every record).
@@ -90,6 +120,14 @@ grep -q "^x-mcgp-cache: miss$" "$TRACE_DIR/serve_cold.txt"
     > "$TRACE_DIR/serve_warm.txt"
 grep -q "^x-mcgp-cache: hit$" "$TRACE_DIR/serve_warm.txt"
 grep -q "^x-mcgp-coarsen-us: 0$" "$TRACE_DIR/serve_warm.txt"
+# Prometheus exposition: negotiated via the query parameter, and the
+# windowed quantile gauges must be present.
+./target/release/mcgp serve-request --addr "$SERVE_ADDR" \
+    --get "/metrics?format=prom" > "$TRACE_DIR/serve_prom.txt"
+grep -q "^# TYPE mcgp_requests_total counter$" "$TRACE_DIR/serve_prom.txt"
+grep -q "mcgp_request_latency_window_seconds{quantile=\"0.99\"}" \
+    "$TRACE_DIR/serve_prom.txt"
+grep -q "mcgp_cache_hit_ratio" "$TRACE_DIR/serve_prom.txt"
 # Identical request twice: served bytes must be deterministic.
 ./target/release/mcgp serve-request --addr "$SERVE_ADDR" gen:mrng:2000 8 --full \
     > "$TRACE_DIR/serve_rep_a.txt"

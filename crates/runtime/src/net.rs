@@ -7,8 +7,10 @@
 //! * **Requests** are parsed by [`read_request`]: request line, headers,
 //!   and an optional `Content-Length` body, under hard limits
 //!   ([`Limits`]) so a malicious peer can neither balloon memory nor hold
-//!   a worker forever (socket read timeouts surface as
-//!   [`NetError::Timeout`]).
+//!   a worker forever. The timeout is a *whole-request* deadline, not a
+//!   per-read one — a slowloris peer dripping one byte per read would
+//!   otherwise reset a per-read timer thousands of times — and expiry
+//!   surfaces as [`NetError::Timeout`].
 //! * **Responses** either carry a `Content-Length` ([`write_response`])
 //!   or stream until close ([`ResponseStream`]) — every response says
 //!   `Connection: close`, which keeps the framing trivial and makes the
@@ -22,7 +24,7 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Hard limits applied while reading a request.
 #[derive(Clone, Copy, Debug)]
@@ -169,15 +171,39 @@ fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
     (percent_decode(path), pairs)
 }
 
-/// Reads one HTTP/1.1 request from `stream` under `limits`.
+/// Re-arms the socket read timeout to whatever remains of the request
+/// deadline, or fails with [`NetError::Timeout`] once it has passed. Called
+/// before *every* blocking read so progress (a dribbled byte) never resets
+/// the clock — the deadline covers the whole request.
+fn arm_deadline(stream: &TcpStream, deadline: Option<Instant>) -> Result<(), NetError> {
+    if let Some(d) = deadline {
+        let remaining = d.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(NetError::Timeout);
+        }
+        stream.set_read_timeout(Some(remaining))?;
+    }
+    Ok(())
+}
+
+/// Reads one HTTP/1.1 request from `stream` under `limits`. `timeout`, when
+/// given, bounds the *total* time spent reading the request (head and body
+/// together); a peer that keeps the socket warm with one byte per read
+/// still gets [`NetError::Timeout`] when the deadline passes.
 ///
 /// Returns [`NetError::Closed`] if the peer disconnected before sending a
 /// full request head, which the accept loop treats as a non-event.
-pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, NetError> {
+pub fn read_request(
+    stream: &mut TcpStream,
+    limits: &Limits,
+    timeout: Option<Duration>,
+) -> Result<Request, NetError> {
+    let deadline = timeout.map(|t| Instant::now() + t);
     let mut reader = BufReader::new(stream);
     // Head: everything through the blank line, capped.
     let mut head: Vec<u8> = Vec::with_capacity(512);
     loop {
+        arm_deadline(reader.get_ref(), deadline)?;
         let buf = reader.fill_buf()?;
         if buf.is_empty() {
             return Err(NetError::Closed);
@@ -255,7 +281,15 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
         });
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    let mut filled = 0;
+    while filled < content_length {
+        arm_deadline(reader.get_ref(), deadline)?;
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(NetError::Closed),
+            Ok(n) => filled += n,
+            Err(e) => return Err(e.into()),
+        }
+    }
 
     let (path, query) = parse_target(target);
     Ok(Request {
@@ -478,7 +512,7 @@ mod tests {
             let _ = s.read_to_end(&mut sink);
         });
         let (mut stream, _) = listener.accept().unwrap();
-        let r = read_request(&mut stream, &limits);
+        let r = read_request(&mut stream, &limits, None);
         drop(stream);
         client.join().unwrap();
         r
@@ -540,6 +574,42 @@ mod tests {
     }
 
     #[test]
+    fn slowloris_drip_hits_the_request_deadline() {
+        // A peer dripping the head one byte at a time makes progress on
+        // every socket read, so a per-read timeout would never fire; the
+        // whole-request deadline must.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            for b in b"GET /slow HTTP/1.1\r\nHost: x\r\n\r\n" {
+                if s.write_all(&[*b]).is_err() {
+                    break; // server gave up on us, as it should
+                }
+                let _ = s.flush();
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let t0 = Instant::now();
+        let r = read_request(
+            &mut stream,
+            &Limits::default(),
+            Some(Duration::from_millis(100)),
+        );
+        assert!(
+            matches!(r, Err(NetError::Timeout)),
+            "dripped head must time out, got {r:?}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "deadline must not scale with bytes dripped"
+        );
+        drop(stream);
+        client.join().unwrap();
+    }
+
+    #[test]
     fn early_close_is_closed_not_parse_error() {
         assert!(matches!(
             roundtrip(b"", Limits::default()),
@@ -558,7 +628,7 @@ mod tests {
         let server = std::thread::spawn(move || {
             for _ in 0..2 {
                 let (mut stream, _) = listener.accept().unwrap();
-                let req = read_request(&mut stream, &Limits::default()).unwrap();
+                let req = read_request(&mut stream, &Limits::default(), None).unwrap();
                 if req.path == "/fixed" {
                     write_response(
                         &mut stream,

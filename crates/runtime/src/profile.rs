@@ -119,10 +119,21 @@ impl Slot {
         }
     }
 
+    /// Seqlock write-open. The `Acquire` RMW keeps the data stores that
+    /// follow from being hoisted above the increment, and the `Release`
+    /// fence orders the (now odd) generation before them — so a reader
+    /// that observes any new frame/depth value also observes the odd
+    /// generation and discards the sample. This is the standard fencing
+    /// (crossbeam's `SeqLock` uses the same shape); plain `Release` on the
+    /// increment alone would let the relaxed data stores reorder above it
+    /// on weakly ordered hardware.
     fn begin_write(&self) {
-        self.generation.fetch_add(1, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::Release);
     }
 
+    /// Seqlock write-close: the `Release` increment orders the preceding
+    /// data stores before the generation becoming even again.
     fn end_write(&self) {
         self.generation.fetch_add(1, Ordering::Release);
     }
@@ -159,7 +170,12 @@ impl Slot {
             for f in &self.frames[..depth] {
                 stack.push(f.load(Ordering::Relaxed));
             }
-            let g1 = self.generation.load(Ordering::Acquire);
+            // The fence orders the relaxed data loads above before the
+            // validating generation load below (an `Acquire` on the load
+            // alone would not — acquire orders *later* accesses, not the
+            // earlier data reads this check is meant to vouch for).
+            std::sync::atomic::fence(Ordering::Acquire);
+            let g1 = self.generation.load(Ordering::Relaxed);
             if g0 == g1 {
                 return Some(stack);
             }

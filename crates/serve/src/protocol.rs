@@ -229,7 +229,8 @@ mod tests {
             s.shutdown(std::net::Shutdown::Write).unwrap();
         });
         let (mut stream, _) = listener.accept().unwrap();
-        let parsed = mcgp_runtime::net::read_request(&mut stream, &Limits::default()).unwrap();
+        let parsed =
+            mcgp_runtime::net::read_request(&mut stream, &Limits::default(), None).unwrap();
         t.join().unwrap();
         parsed
     }

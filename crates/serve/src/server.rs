@@ -63,8 +63,29 @@ const LATENCY_EPOCH_LEN: u64 = 16;
 
 /// `GET /profile` sampling sessions are process-global (the profiler owns
 /// one enable flag), so concurrent requests get 503 instead of corrupting
-/// each other's tallies.
-static PROFILE_SESSION: Mutex<()> = Mutex::new(());
+/// each other's tallies. A plain atomic busy flag rather than a `Mutex`:
+/// a poisoned lock would turn one panic into a permanent 503 for the
+/// daemon's lifetime, while the [`ProfileSlot`] drop guard always releases.
+static PROFILE_BUSY: AtomicBool = AtomicBool::new(false);
+
+/// Exclusive claim on the process-wide profiling session; released on drop
+/// (including panic unwinds).
+struct ProfileSlot;
+
+impl ProfileSlot {
+    fn acquire() -> Option<ProfileSlot> {
+        PROFILE_BUSY
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+            .then_some(ProfileSlot)
+    }
+}
+
+impl Drop for ProfileSlot {
+    fn drop(&mut self) {
+        PROFILE_BUSY.store(false, Ordering::Release);
+    }
+}
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -75,7 +96,8 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Hierarchy-cache byte budget.
     pub cache_bytes: usize,
-    /// Socket read/write timeout per operation (408 on expiry).
+    /// Whole-request read deadline and per-operation write timeout
+    /// (408 on expiry).
     pub io_timeout: Duration,
     /// Request head/body size limits.
     pub limits: Limits,
@@ -304,7 +326,11 @@ fn handle_connection(state: &State, mut stream: TcpStream) {
     let t0 = Instant::now();
     let _ = stream.set_read_timeout(Some(state.config.io_timeout));
     let _ = stream.set_write_timeout(Some(state.config.io_timeout));
-    match read_request(&mut stream, &state.config.limits) {
+    match read_request(
+        &mut stream,
+        &state.config.limits,
+        Some(state.config.io_timeout),
+    ) {
         // Nothing arrived (port scan, probe, client gave up): not a request.
         Err(NetError::Closed) => {}
         Err(e) => {
@@ -404,26 +430,46 @@ fn route(state: &State, stream: &mut TcpStream, req: Request, t0: Instant) {
 /// time: concurrent requests get 503 rather than sharing the process-wide
 /// enable flag.
 fn handle_profile(state: &State, stream: &mut TcpStream, req: &Request) {
+    // `parse::<f64>` accepts "nan"/"inf", and NaN passes straight through
+    // `clamp` into `Duration::from_secs_f64`, which panics — so non-finite
+    // values fall back to the default like any other unusable input.
     let seconds = req
         .query_param("seconds")
         .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| v.is_finite())
         .unwrap_or(1.0)
         .clamp(0.0, 60.0);
     let hz = req
         .query_param("hz")
         .and_then(|s| s.parse::<u32>().ok())
         .unwrap_or(997);
-    let Ok(_session) = PROFILE_SESSION.try_lock() else {
+    let Some(_session) = ProfileSlot::acquire() else {
         state.stats.record_error("profile");
         let body = error_body("profiler_busy", "another /profile session is running");
         let _ = write_response(stream, 503, "application/json", &[], body.as_bytes());
         return;
     };
-    let profiler = Profiler::start(hz);
-    std::thread::sleep(Duration::from_secs_f64(seconds));
-    let folded = profiler.stop().render();
-    state.stats.record_ok("profile", "ok", None);
-    let _ = write_response(stream, 200, "text/plain", &[], folded.as_bytes());
+    // Same containment as the partition path: a panic costs this request a
+    // 500, not the daemon a worker (the slot guard above still releases).
+    let folded = catch_unwind(AssertUnwindSafe(|| {
+        let profiler = Profiler::start(hz);
+        std::thread::sleep(Duration::from_secs_f64(seconds));
+        profiler.stop().render()
+    }));
+    match folded {
+        Ok(folded) => {
+            state.stats.record_ok("profile", "ok", None);
+            let _ = write_response(stream, 200, "text/plain", &[], folded.as_bytes());
+        }
+        Err(_) => {
+            state.stats.record_error("profile");
+            let body = error_body(
+                "internal",
+                "profiler panicked on this request; the daemon survives",
+            );
+            let _ = write_response(stream, 500, "application/json", &[], body.as_bytes());
+        }
+    }
 }
 
 /// Parse + validate + coarsen (through the cache) + partition. Runs on

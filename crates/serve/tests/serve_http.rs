@@ -473,6 +473,20 @@ fn profile_endpoint_returns_valid_collapsed_stacks() {
     // Profiling is off again after the session: spans are free once more.
     assert!(!mcgp_runtime::profile::enabled());
 
+    // Non-finite durations must not panic the worker: `parse::<f64>("nan")`
+    // succeeds and NaN survives `clamp`, so an unsanitized value would reach
+    // `Duration::from_secs_f64` and kill the thread. The request falls back
+    // to defaults-with-a-tiny-window and the daemon keeps serving.
+    for bad in ["nan", "inf"] {
+        let target = format!("/profile?seconds={bad}&hz=1500");
+        let prof = http_request(&addr, "GET", &target, &[], b"", Some(Duration::from_secs(30)))
+            .unwrap_or_else(|e| panic!("seconds={bad} hung or died: {e}"));
+        assert_eq!(prof.status, 200, "seconds={bad}: {}", prof.text());
+    }
+    let alive = http_request(&addr, "GET", "/healthz", &[], b"", Some(Duration::from_secs(5)))
+        .expect("daemon must survive non-finite profile params");
+    assert_eq!(alive.status, 200);
+
     stop(&handle, thread);
 }
 

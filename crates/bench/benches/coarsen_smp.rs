@@ -11,20 +11,27 @@
 //! * `coarsen/hierarchy` — the full `coarsen()` hierarchy down to the
 //!   k = 16 target, the end-to-end number `scripts/bench.sh` records in
 //!   `BENCH_coarsen.json`.
+//! * `partition/full` — end-to-end `partition_kway` (coarsen + threaded
+//!   recursive-bisection initial partitioning + parallel k-way
+//!   refinement), the row the `mcgp bench-gate --threads-win` rule
+//!   enforces `t2 ≤ t1` on.
 //! * `coarsen/smoke` — a small fast workload for the `verify.sh` bench
 //!   smoke (`--samples 3 smoke`).
 //!
 //! Stripe counts above `MCGP_THREADS`/`available_parallelism` still run
 //! (striping is a determinism parameter, not a thread count), so the t = 2
 //! and t = 8 records are honest on any machine — on a single-core host
-//! they measure the striped kernels' overhead, not a speedup.
+//! they measure the striped kernels' overhead, not a speedup. Thread-count
+//! families sample interleaved (`Bench::run_variants`) so the
+//! threads-win medians are paired per sample round.
 
 use mcgp_bench::Bench;
+use std::hint::black_box;
 use mcgp_core::coarsen::{coarsen, contract_with_scratch, ContractionScratch};
 use mcgp_core::coarsen_smp::{contract_smp, match_smp, SmpCoarsenScratch};
 use mcgp_core::config::MatchingScheme;
 use mcgp_core::matching::match_graph;
-use mcgp_core::PartitionConfig;
+use mcgp_core::{partition_kway, PartitionConfig};
 use mcgp_graph::generators::{mrng_like, rmat_default};
 use mcgp_graph::synthetic;
 use mcgp_graph::Graph;
@@ -35,38 +42,85 @@ const THREADS: [usize; 3] = [1, 2, 8];
 fn bench_graph(b: &Bench, g: &Graph, tag: &str) {
     let scheme = MatchingScheme::BalancedHeavyEdge;
 
-    for t in THREADS {
-        b.run("coarsen/match", &format!("{tag}_t{t}"), || {
-            if t == 1 {
-                let mut rng = Rng::seed_from_u64(7);
-                match_graph(g, scheme, &mut rng)
-            } else {
-                match_smp(g, scheme, t, 7)
-            }
-        });
-    }
+    // Every `_t{1,2,8}` family samples via `run_variants`: the thread
+    // counts of one workload are interleaved round-robin so the
+    // threads-win comparison of their medians is paired per round — a
+    // machine-wide slow window hits all three rows, not whichever row's
+    // consecutive samples it happened to overlap.
+    b.run_variants(
+        "coarsen/match",
+        THREADS
+            .iter()
+            .map(|&t| {
+                let f: Box<dyn FnMut()> = Box::new(move || {
+                    if t == 1 {
+                        let mut rng = Rng::seed_from_u64(7);
+                        black_box(match_graph(g, scheme, &mut rng));
+                    } else {
+                        black_box(match_smp(g, scheme, t, 7));
+                    }
+                });
+                (format!("{tag}_t{t}"), f)
+            })
+            .collect(),
+    );
 
     let m = match_graph(g, scheme, &mut Rng::seed_from_u64(7));
-    let mut serial_scratch = ContractionScratch::new();
-    let mut smp_scratch = SmpCoarsenScratch::new();
-    for t in THREADS {
-        b.run("coarsen/contract", &format!("{tag}_t{t}"), || {
-            if t == 1 {
-                contract_with_scratch(g, &m, &mut serial_scratch)
-            } else {
-                contract_smp(g, &m, t, &mut smp_scratch)
-            }
-        });
-    }
+    b.run_variants(
+        "coarsen/contract",
+        THREADS
+            .iter()
+            .map(|&t| {
+                // Each variant owns its scratch, reused across samples as
+                // the level loop does.
+                let mut serial_scratch = ContractionScratch::new();
+                let mut smp_scratch = SmpCoarsenScratch::new();
+                let m = &m;
+                let f: Box<dyn FnMut()> = Box::new(move || {
+                    if t == 1 {
+                        black_box(contract_with_scratch(g, m, &mut serial_scratch));
+                    } else {
+                        black_box(contract_smp(g, m, t, &mut smp_scratch));
+                    }
+                });
+                (format!("{tag}_t{t}"), f)
+            })
+            .collect(),
+    );
 
     let target = PartitionConfig::default().coarsen_target(16);
-    for t in THREADS {
-        let cfg = PartitionConfig::default().with_threads(t);
-        b.run("coarsen/hierarchy", &format!("{tag}_t{t}"), || {
-            let mut rng = Rng::seed_from_u64(7);
-            coarsen(g, target, &cfg, &mut rng)
-        });
-    }
+    b.run_variants(
+        "coarsen/hierarchy",
+        THREADS
+            .iter()
+            .map(|&t| {
+                let cfg = PartitionConfig::default().with_threads(t);
+                let f: Box<dyn FnMut()> = Box::new(move || {
+                    let mut rng = Rng::seed_from_u64(7);
+                    black_box(coarsen(g, target, &cfg, &mut rng));
+                });
+                (format!("{tag}_t{t}"), f)
+            })
+            .collect(),
+    );
+
+    // The end-to-end pipeline — coarsen, threaded recursive-bisection
+    // initial partitioning, parallel k-way refinement — at the same
+    // stripe counts. This is the row the threads-win gate enforces:
+    // `_t2` must hold `_t1`'s speed on whatever host ran the bench.
+    b.run_variants(
+        "partition/full",
+        THREADS
+            .iter()
+            .map(|&t| {
+                let cfg = PartitionConfig::default().with_threads(t);
+                let f: Box<dyn FnMut()> = Box::new(move || {
+                    black_box(partition_kway(g, 16, &cfg));
+                });
+                (format!("{tag}_t{t}"), f)
+            })
+            .collect(),
+    );
 }
 
 fn main() {

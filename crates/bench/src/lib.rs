@@ -92,7 +92,7 @@ impl Bench {
             mcgp_runtime::trace::set_enabled(true);
             let _ = mcgp_runtime::trace::take_local();
         }
-        let mut times: Vec<f64> = (0..self.samples)
+        let times: Vec<f64> = (0..self.samples)
             .map(|_| {
                 let t0 = Instant::now();
                 black_box(f());
@@ -105,6 +105,83 @@ impl Bench {
                 *event_counts.entry(ev.name).or_insert(0) += 1;
             }
         }
+        Some(self.emit(&id, times, event_counts))
+    }
+
+    /// Times a family of closures as one interleaved session: every kept
+    /// variant is warmed up once, then each sample round makes one timed
+    /// call per variant, cycling round-robin. Rows produced this way are
+    /// meant to be *compared with each other* — the `bench-gate`
+    /// threads-win rule pits `_tN` medians against their `_t1` sibling —
+    /// and on a shared host a machine-wide slow window then lands in the
+    /// same round of every variant instead of poisoning one variant's
+    /// consecutive samples. Emits the same per-variant records as
+    /// [`Bench::run`], in variant order. Closures must [`black_box`] their
+    /// own results.
+    pub fn run_variants(
+        &self,
+        group: &str,
+        mut variants: Vec<(String, Box<dyn FnMut() + '_>)>,
+    ) -> Vec<Option<f64>> {
+        let ids: Vec<String> = variants
+            .iter()
+            .map(|(name, _)| format!("{group}/{name}"))
+            .collect();
+        let keep: Vec<bool> = ids
+            .iter()
+            .map(|id| {
+                self.filter
+                    .as_ref()
+                    .is_none_or(|flt| id.contains(flt.as_str()))
+            })
+            .collect();
+        for (i, (_, f)) in variants.iter_mut().enumerate() {
+            if keep[i] {
+                f(); // warmup
+            }
+        }
+        let n = variants.len();
+        let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(self.samples); n];
+        let mut event_counts: Vec<std::collections::BTreeMap<&'static str, u64>> =
+            vec![std::collections::BTreeMap::new(); n];
+        if self.trace {
+            mcgp_runtime::trace::set_enabled(true);
+            let _ = mcgp_runtime::trace::take_local();
+        }
+        for _ in 0..self.samples {
+            for (i, (_, f)) in variants.iter_mut().enumerate() {
+                if !keep[i] {
+                    continue;
+                }
+                let t0 = Instant::now();
+                f();
+                times[i].push(t0.elapsed().as_secs_f64());
+                if self.trace {
+                    for ev in mcgp_runtime::trace::take_local() {
+                        *event_counts[i].entry(ev.name).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        if self.trace {
+            mcgp_runtime::trace::set_enabled(false);
+        }
+        ids.iter()
+            .zip(times)
+            .zip(event_counts)
+            .zip(keep)
+            .map(|(((id, t), ev), k)| k.then(|| self.emit(id, t, ev)))
+            .collect()
+    }
+
+    /// Sorts one benchmark's samples, prints its JSONL record and stderr
+    /// summary, and returns the median.
+    fn emit(
+        &self,
+        id: &str,
+        mut times: Vec<f64>,
+        event_counts: std::collections::BTreeMap<&'static str, u64>,
+    ) -> f64 {
         times.sort_by(f64::total_cmp);
         let median = if times.len() % 2 == 1 {
             times[times.len() / 2]
@@ -113,7 +190,7 @@ impl Bench {
         };
         let (min, max) = (times[0], *times.last().unwrap());
         let mut record = Json::obj([
-            ("bench", Json::Str(id.clone())),
+            ("bench", Json::Str(id.to_string())),
             ("samples", Json::UInt(self.samples as u64)),
             ("median_s", Json::Float(median)),
             ("min_s", Json::Float(min)),
@@ -132,7 +209,7 @@ impl Bench {
         }
         println!("{record}");
         eprintln!("{id:<44} median {median:>9.4}s  min {min:>9.4}s  max {max:>9.4}s  n={}", self.samples);
-        Some(median)
+        median
     }
 }
 
@@ -164,6 +241,48 @@ mod tests {
         // run() turns tracing back off and drains the buffer it counted.
         assert!(!mcgp_runtime::trace::enabled());
         assert!(mcgp_runtime::trace::take_local().is_empty());
+    }
+
+    #[test]
+    fn run_variants_interleaves_and_reports_all() {
+        let b = Bench::with_samples(3);
+        let calls = std::cell::RefCell::new(String::new());
+        let medians = b.run_variants(
+            "test",
+            vec![
+                (
+                    "a".to_string(),
+                    Box::new(|| calls.borrow_mut().push('a')) as Box<dyn FnMut()>,
+                ),
+                (
+                    "b".to_string(),
+                    Box::new(|| calls.borrow_mut().push('b')) as Box<dyn FnMut()>,
+                ),
+            ],
+        );
+        assert_eq!(medians.len(), 2);
+        assert!(medians.iter().all(|m| m.is_some_and(|m| m >= 0.0)));
+        // One warmup each, then three rounds of (a, b) — interleaved, not
+        // consecutive per variant.
+        assert_eq!(*calls.borrow(), "abababab");
+    }
+
+    #[test]
+    fn run_variants_respects_the_filter() {
+        let b = Bench {
+            samples: 2,
+            filter: Some("only".to_string()),
+            trace: false,
+        };
+        let medians = b.run_variants(
+            "test",
+            vec![
+                ("only-this".to_string(), Box::new(|| ()) as Box<dyn FnMut()>),
+                ("other".to_string(), Box::new(|| ()) as Box<dyn FnMut()>),
+            ],
+        );
+        assert!(medians[0].is_some());
+        assert!(medians[1].is_none());
     }
 
     #[test]

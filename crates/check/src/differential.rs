@@ -85,6 +85,10 @@ pub struct DiffRecord {
     pub cut_ratio: f64,
     pub serial_imbalance: f64,
     pub parallel_imbalance: f64,
+    /// Whether rerunning the (possibly threaded) serial driver reproduced
+    /// its partition bit-for-bit — the parallel pipeline's determinism
+    /// contract, asserted in every cell.
+    pub rerun_identical: bool,
     /// Envelope/validity violations; empty means the cell passed.
     pub failures: Vec<String>,
 }
@@ -101,6 +105,7 @@ mcgp_runtime::impl_to_json!(DiffRecord {
     cut_ratio,
     serial_imbalance,
     parallel_imbalance,
+    rerun_identical,
     failures
 });
 
@@ -182,6 +187,13 @@ pub fn differential_case(
     };
     let serial = partition_kway(graph, nparts, &serial_cfg);
 
+    // Determinism row: the striped coarsener, threaded initial
+    // partitioning, and parallel refiner must make the serial driver a
+    // pure function of `(graph, seed, threads)` — a rerun reproduces the
+    // assignment bit-for-bit in every cell, threaded or not.
+    let rerun = partition_kway(graph, nparts, &serial_cfg);
+    let rerun_identical = rerun.partition.assignment() == serial.partition.assignment();
+
     let par_cfg = {
         let mut c = ParallelConfig::new(nprocs).with_seed(seed);
         c.check = CheckLevel::Full;
@@ -190,6 +202,11 @@ pub fn differential_case(
     let parallel = parallel_partition_kway(graph, nparts, &par_cfg);
 
     let mut failures = Vec::new();
+    if !rerun_identical {
+        failures.push(format!(
+            "serial driver at {nprocs} thread(s) is not deterministic: rerun diverged"
+        ));
+    }
     let tol = serial_cfg.imbalance_tol;
     for (label, assignment) in [
         ("serial", serial.partition.assignment()),
@@ -259,6 +276,7 @@ pub fn differential_case(
         cut_ratio: ratio,
         serial_imbalance: s_imb,
         parallel_imbalance: p_imb,
+        rerun_identical,
         failures,
     }
 }

@@ -187,7 +187,10 @@ pub fn apply_move(pw: &mut [i64], ncon: usize, vw: &[i64], from: usize, to: usiz
 
 /// Greedy multi-constraint k-way balancing: while some part exceeds a cap,
 /// move the least-damaging vertex that carries the violated weight out of
-/// the worst-violated part into a part with room.
+/// the worst-violated part into a part with room — and when no single move
+/// can reduce the violation (the multi-constraint wedge where every part is
+/// at cap on a different constraint), exchange a complementary pair of
+/// vertices instead ([`swap_escape`]).
 ///
 /// Edge-cut-increasing moves are permitted — restoring feasibility takes
 /// priority, exactly as in the serial algorithm. Returns `true` when the
@@ -211,17 +214,7 @@ pub fn rebalance(
     // Maintained across moves so the never-empty-a-part rule is O(1).
     let mut counts = part_counts(assignment, nparts);
 
-    // Normalised excess of one part row above its caps.
-    let excess = |row: &[i64]| -> f64 {
-        let mut e = 0.0;
-        for (i, &w) in row.iter().enumerate() {
-            let over = w - model.limits()[i];
-            if over > 0 && model.totals()[i] > 0 {
-                e += over as f64 * nparts as f64 / model.totals()[i] as f64;
-            }
-        }
-        e
-    };
+    let excess = |row: &[i64]| normalised_excess(model, row);
 
     for _ in 0..max_moves {
         let Some((vp, vc)) = model.worst_violation(pw) else {
@@ -323,10 +316,115 @@ pub fn rebalance(
                 counts[from] -= 1;
                 counts[dest] += 1;
             }
-            None => return false, // no move reduces the violation: give up
+            None => {
+                // Tier 3 (wedge breaker): every single move either fails the
+                // caps or shuffles excess around without reducing it — the
+                // multi-constraint deadlock where each part sits at its cap
+                // on a *different* constraint while far under on the others.
+                // Escaping it needs complementary weight vectors to trade
+                // places, which no sequence of single excess-decreasing
+                // moves can do: exchange a pair of vertices between the
+                // violated part and another part when the swap strictly
+                // reduces total normalised excess. Give up only when no
+                // sampled swap helps either.
+                if !swap_escape(graph, assignment, pw, model, vp, vc, &order) {
+                    return false;
+                }
+            }
         }
     }
     model.worst_violation(pw).is_none()
+}
+
+/// Normalised excess of one part row above its caps: the per-constraint
+/// overflow in units of the per-part average weight, summed. The quantity
+/// both rebalancing tiers drive monotonically to zero.
+fn normalised_excess(model: &BalanceModel, row: &[i64]) -> f64 {
+    let mut e = 0.0;
+    for (i, &w) in row.iter().enumerate() {
+        let over = w - model.limits()[i];
+        if over > 0 && model.totals()[i] > 0 {
+            e += over as f64 * model.nparts() as f64 / model.totals()[i] as f64;
+        }
+    }
+    e
+}
+
+/// Tier-3 escape of [`rebalance`]: finds and applies one pairwise vertex
+/// exchange between the violated part `vp` and any other part that strictly
+/// reduces total normalised excess. Candidates are bounded deterministic
+/// samples drawn in shuffled `order`: vertices of `vp` carrying the
+/// violated constraint `vc`, against vertices of every other part. Swaps
+/// keep per-part vertex counts unchanged, so the caller's never-empty
+/// bookkeeping is unaffected. Returns whether a swap was applied.
+fn swap_escape(
+    graph: &Graph,
+    assignment: &mut [u32],
+    pw: &mut [i64],
+    model: &BalanceModel,
+    vp: usize,
+    vc: usize,
+    order: &[u32],
+) -> bool {
+    const SRC_SAMPLE: usize = 32;
+    const DEST_SAMPLE: usize = 32;
+    let ncon = model.ncon();
+    let nparts = model.nparts();
+    let mut src: Vec<usize> = Vec::with_capacity(SRC_SAMPLE);
+    let mut dest: Vec<Vec<usize>> = vec![Vec::new(); nparts];
+    let mut dest_full = 0usize;
+    for &v in order {
+        let v = v as usize;
+        let p = assignment[v] as usize;
+        if p == vp {
+            if src.len() < SRC_SAMPLE && graph.vwgt(v)[vc] > 0 {
+                src.push(v);
+            }
+        } else if dest[p].len() < DEST_SAMPLE {
+            dest[p].push(v);
+            if dest[p].len() == DEST_SAMPLE {
+                dest_full += 1;
+            }
+        }
+        if src.len() == SRC_SAMPLE && dest_full == nparts - 1 {
+            break;
+        }
+    }
+    let mut vp_after = vec![0i64; ncon];
+    let mut q_after = vec![0i64; ncon];
+    let mut best: Option<(f64, usize, usize)> = None; // (delta, v, u)
+    for &v in &src {
+        let vw = graph.vwgt(v);
+        for (q, cands) in dest.iter().enumerate() {
+            let q_row = &pw[q * ncon..(q + 1) * ncon];
+            let vp_row = &pw[vp * ncon..(vp + 1) * ncon];
+            let before = normalised_excess(model, vp_row) + normalised_excess(model, q_row);
+            for &u in cands {
+                let uw = graph.vwgt(u);
+                for i in 0..ncon {
+                    vp_after[i] = vp_row[i] - vw[i] + uw[i];
+                    q_after[i] = q_row[i] - uw[i] + vw[i];
+                }
+                let delta = normalised_excess(model, &vp_after)
+                    + normalised_excess(model, &q_after)
+                    - before;
+                if delta < -1e-12 && best.is_none_or(|(d, _, _)| delta < d - 1e-12) {
+                    best = Some((delta, v, u));
+                }
+            }
+        }
+    }
+    match best {
+        Some((_, v, u)) => {
+            let q = assignment[u] as usize;
+            apply_move(pw, ncon, graph.vwgt(v), vp, q);
+            apply_move(pw, ncon, graph.vwgt(u), q, vp);
+            assignment[v] = q as u32;
+            assignment[u] = vp as u32;
+            true
+        }
+        None => false,
+    }
 }
 
 #[cfg(test)]
@@ -447,6 +545,39 @@ mod tests {
         let ok = rebalance(&g, &mut assignment, &mut pw, &model, &mut rng);
         assert!(!ok);
         assert_eq!(part_counts(&assignment, 2)[1], 1, "part 1 was emptied");
+    }
+
+    #[test]
+    fn rebalance_escapes_the_multiconstraint_wedge() {
+        // Two parts, each at cap on a *different* constraint and well under
+        // on the other. No single move helps: any vertex that sheds c0
+        // overflow from part 0 adds at least as much c1 overflow to part 1,
+        // so tiers 1-2 find nothing and only a pairwise exchange of
+        // complementary vertices restores feasibility.
+        let mut b = mcgp_graph::csr::GraphBuilder::new(10);
+        for v in 0..9u32 {
+            b.weighted_edge(v as usize, v as usize + 1, 1);
+        }
+        #[rustfmt::skip]
+        b.vwgt(2, vec![
+            2, 1,  2, 1,  2, 1,  2, 1,  1, 1, // part 0: pw (9, 5)
+            1, 2,  1, 2,  1, 2,  1, 2,  1, 1, // part 1: pw (5, 9)
+        ]);
+        let g = b.build().unwrap();
+        let mut assignment = vec![0u32, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let model = BalanceModel::from_parts(2, 2, vec![14, 14], &[1, 1], 0.1);
+        assert_eq!(model.limits(), &[8, 8]);
+        let mut pw = part_weights(&g, &assignment, 2);
+        assert_eq!(pw, vec![9, 5, 5, 9]);
+        let mut rng = Rng::seed_from_u64(5);
+        let ok = rebalance(&g, &mut assignment, &mut pw, &model, &mut rng);
+        assert!(ok, "wedge not escaped");
+        assert!(model.is_balanced(&pw));
+        assert_eq!(
+            pw,
+            part_weights(&g, &assignment, 2),
+            "pw bookkeeping drifted"
+        );
     }
 
     #[test]

@@ -15,18 +15,30 @@
 //! serial [`greedy_match_pass`] over the unmatched tail keeps coarsening
 //! ratios close to serial heavy-edge matching.
 //!
-//! Contraction is two passes over striped coarse vertices: pass one
-//! computes per-*stripe* slab capacities (summed degree bounds of the
-//! stripe's representatives) and prefix-sums them into slab bases; pass
-//! two fills each stripe's rows *packed contiguously* into its slab using
-//! per-worker *timestamped* marker tables (generation counters replace the
-//! reset-to-`NONE` walk of [`crate::coarsen::ContractionScratch`], so a
-//! worker never rescans what it wrote). Because rows are packed as they
-//! are produced, no per-row compaction pass exists at all: finalisation is
-//! at most one in-place block shift per stripe (closing the slack the
-//! degree bound over-reserved), skipped for every stripe whose preceding
-//! slabs came out exact — and the filled buffers are moved into the coarse
-//! graph rather than copied.
+//! Contraction is two passes over striped coarse vertices: pass one walks
+//! each stripe's `mate` entries exactly once, collecting the stripe's
+//! representative pairs, each representative's *rank within its stripe*,
+//! and the stripe's slab capacity (summed degree bounds); prefix sums turn
+//! ranks into global coarse ids and capacities into slab bases, and pass
+//! two resolves every vertex's coarse id arithmetically (owner's stripe
+//! base + rank — stripes are near-equal, so the owning stripe is a
+//! division, not a search). The row fill then writes each stripe's rows
+//! *packed contiguously* into its slab using per-worker *timestamped*
+//! marker tables (generation counters replace the reset-to-`NONE` walk of
+//! [`crate::coarsen::ContractionScratch`], so a worker never rescans what
+//! it wrote; stamp and slot live in one interleaved cell, so the hot
+//! first-seen test costs a single random access — the same count as the
+//! serial kernel's position table, where the split-array layout cost two).
+//! Because rows are packed as they are produced, no per-row compaction
+//! pass exists at all: finalisation is one copy-out of each stripe's
+//! filled prefix into the exact-size CSR (the slack the degree bound
+//! over-reserved stays behind in the slabs, which persist in
+//! [`SmpCoarsenScratch`] across levels so only the finest level pays
+//! allocation). When the physical worker budget is a single thread
+//! (`pool::threads_for(nthreads) <= 1`), [`contract_smp`] delegates to
+//! the serial kernel outright — an execution-strategy choice, not an
+//! output change, because its output is bit-identical to serial at every
+//! stripe count.
 //!
 //! **Determinism contract.** The output — matching, coarse ids, and the
 //! exact CSR edge order — depends only on `(graph, scheme, seed, nthreads)`.
@@ -70,6 +82,16 @@ struct Proposal {
     edge_w: i64,
 }
 
+/// One target's best proposal so far, live only while `stamp` matches the
+/// current round (see the arbitration superstep of [`match_smp`]).
+#[derive(Clone, Copy, Default)]
+struct ArbSlot {
+    stamp: u32,
+    proposer: u32,
+    edge_w: i64,
+    spread: f64,
+}
+
 /// Parallel balanced-heavy-edge matching over `nthreads` vertex stripes.
 /// Deterministic for a fixed `(graph, scheme, seed, nthreads)`; valid by
 /// construction (involution, matched pairs adjacent).
@@ -89,23 +111,54 @@ pub fn match_smp(
     let balanced = scheme == MatchingScheme::BalancedHeavyEdge && graph.ncon() > 1;
     let mut pairs = 0usize;
 
-    // Stripe owning a vertex (stripes are near-equal, not exact divisions).
-    let stripe_of = |v: usize| bounds.partition_point(|&b| b <= v) - 1;
+    // Stripe owning a vertex: the first `n % stripes` stripes are one
+    // element longer than the rest, so ownership is two divisions — no
+    // binary search in the proposal hot loop.
+    let (quota, extra) = (n / stripes, n % stripes);
+    let long_end = (quota + 1) * extra;
+    let stripe_of = move |v: usize| {
+        if v < long_end {
+            v / (quota + 1)
+        } else {
+            extra + (v - long_end) / quota
+        }
+    };
+
+    // Arbitration slots, one per vertex, validated by a per-round stamp: the
+    // arena is allocated (and zeroed) once per matching call instead of a
+    // fresh `Vec<Option<..>>` per round, and only slots a proposal actually
+    // touches are ever written — later rounds have few proposals, so the
+    // arbitration superstep costs O(proposals), not O(n).
+    let mut arb: Vec<ArbSlot> = vec![ArbSlot::default(); n];
+
+    // Per-parity re-proposal candidates: round `r + 2` only needs the
+    // proposers that *lost* arbitration in round `r` — a parity-`p` vertex
+    // that proposed nothing in round `r` cannot propose later either (the
+    // matched set only grows, so candidate neighbourhoods only shrink), and
+    // winners are matched. Keeping the loser lists sorted by vertex id makes
+    // the re-proposal sweep visit vertices in exactly the order the full
+    // stripe scan would, so the output (including the Random scheme's RNG
+    // stream) is identical — the full rescans of later rounds just never run.
+    let mut losers: [Option<Vec<Vec<u32>>>; 2] = [None, None];
 
     for round in 0..ROUNDS {
         let parity = round % 2;
+        let cands = losers[parity].take();
         // --- Proposal superstep -----------------------------------------
         // Each worker scans its stripe's unmatched parity-`parity` vertices
-        // and proposes to the best unmatched opposite-parity neighbour,
-        // bucketing proposals by the target's stripe. `matched` is
-        // read-only until grants land, so workers are independent.
+        // (first same-parity round: the whole stripe; later rounds: the
+        // previous same-parity round's arbitration losers) and proposes to
+        // the best unmatched opposite-parity neighbour, bucketing proposals
+        // by the target's stripe. `matched` is read-only until grants land,
+        // so workers are independent.
+        let cands = &cands;
         let per_stripe: Vec<Vec<Vec<Proposal>>> = pool::map(stripes, |s| {
             let mut rng =
                 Rng::seed_from_u64(seed ^ ((round as u64) << 32) ^ ((s as u64) << 8));
             let mut out: Vec<Vec<Proposal>> = (0..stripes).map(|_| Vec::new()).collect();
-            for v in bounds[s]..bounds[s + 1] {
-                if matched[v] || v % 2 != parity {
-                    continue;
+            let mut propose = |v: usize, rng: &mut Rng| {
+                if matched[v] {
+                    return;
                 }
                 let vw = graph.vwgt(v);
                 let mut best: Option<(i64, f64, u32)> = None;
@@ -135,7 +188,7 @@ pub fn match_smp(
                         .edges(v)
                         .filter(|&(u, _)| !matched[u as usize] && u as usize % 2 != parity)
                         .collect();
-                    best = cands.choose(&mut rng).map(|&(u, w)| (w, 0.0, u));
+                    best = cands.choose(rng).map(|&(u, w)| (w, 0.0, u));
                 }
                 if let Some((w, _, u)) = best {
                     out[stripe_of(u as usize)].push(Proposal {
@@ -143,6 +196,18 @@ pub fn match_smp(
                         proposer: v as u32,
                         edge_w: w,
                     });
+                }
+            };
+            match cands {
+                Some(lists) => {
+                    for &v in &lists[s] {
+                        propose(v as usize, &mut rng);
+                    }
+                }
+                None => {
+                    for v in (bounds[s] + (bounds[s] + parity) % 2..bounds[s + 1]).step_by(2) {
+                        propose(v, &mut rng);
+                    }
                 }
             }
             out
@@ -153,32 +218,45 @@ pub fn match_smp(
         // proposals every stripe bucketed for it and keeps one winner per
         // target under the shared Euro-Par rule. The winner is a pure
         // function of the proposal set, so scheduling cannot perturb it.
-        let grants: Vec<Vec<(u32, u32)>> = pool::map(stripes, |t| {
-            let (lo, hi) = (bounds[t], bounds[t + 1]);
-            let mut best: Vec<Option<(i64, f64, u32)>> = vec![None; hi - lo];
-            for from in &per_stripe {
-                for pr in &from[t] {
-                    let spread = if balanced {
-                        combined_spread(
-                            graph.vwgt(pr.proposer as usize),
-                            graph.vwgt(pr.target as usize),
-                            &inv_tot,
-                        )
-                    } else {
-                        0.0
-                    };
-                    let key = (pr.edge_w, spread, pr.proposer);
-                    let slot = &mut best[pr.target as usize - lo];
-                    if slot.is_none_or(|b| grant_beats(key, b)) {
-                        *slot = Some(key);
+        // Targets are collected in first-proposal order (stripe order, then
+        // bucket order — deterministic), so no O(stripe) winner scan runs.
+        let stamp = round as u32 + 1;
+        let grants: Vec<Vec<(u32, u32)>> = {
+            let arb_chunks = split_chunks(&mut arb[..], &bounds);
+            zip_map(arb_chunks, |t, slots| {
+                let lo = bounds[t];
+                let mut hit: Vec<u32> = Vec::new();
+                for from in &per_stripe {
+                    for pr in &from[t] {
+                        let spread = if balanced {
+                            combined_spread(
+                                graph.vwgt(pr.proposer as usize),
+                                graph.vwgt(pr.target as usize),
+                                &inv_tot,
+                            )
+                        } else {
+                            0.0
+                        };
+                        let key = (pr.edge_w, spread, pr.proposer);
+                        let slot = &mut slots[pr.target as usize - lo];
+                        if slot.stamp != stamp {
+                            hit.push(pr.target);
+                        } else if !grant_beats(key, (slot.edge_w, slot.spread, slot.proposer)) {
+                            continue;
+                        }
+                        *slot = ArbSlot {
+                            stamp,
+                            proposer: pr.proposer,
+                            edge_w: pr.edge_w,
+                            spread,
+                        };
                     }
                 }
-            }
-            best.iter()
-                .enumerate()
-                .filter_map(|(i, b)| b.map(|(_, _, p)| (p, (lo + i) as u32)))
-                .collect()
-        });
+                hit.iter()
+                    .map(|&u| (slots[u as usize - lo].proposer, u))
+                    .collect()
+            })
+        };
 
         // --- Commit (stripe-then-target order) --------------------------
         // Proposers (parity `parity`) and targets (opposite parity) are
@@ -197,6 +275,23 @@ pub fn match_smp(
             }
         }
         pairs += ngrants;
+        if round + 2 < ROUNDS {
+            losers[parity] = Some(
+                per_stripe
+                    .iter()
+                    .map(|from| {
+                        let mut l: Vec<u32> = from
+                            .iter()
+                            .flatten()
+                            .map(|pr| pr.proposer)
+                            .filter(|&p| !matched[p as usize])
+                            .collect();
+                        l.sort_unstable();
+                        l
+                    })
+                    .collect(),
+            );
+        }
         // Losing proposals are the protocol's arbitration conflicts.
         counter_add(Counter::MatchConflicts, (nprops - ngrants) as u64);
         event!(
@@ -234,24 +329,35 @@ pub fn match_smp(
     }
 }
 
-/// Per-worker timestamped marker table for the row-fill pass. `mark[cu] ==
-/// stamp` means coarse neighbour `cu` is already in the current row at
-/// position `slot[cu]`; bumping `stamp` invalidates the whole table in
-/// O(1), so there is no per-row reset walk at all.
+/// One marker-table cell: `stamp` says whether the coarse neighbour is in
+/// the current row, `slot` where. Interleaved in one 8-byte cell so the
+/// row fill's first-seen test costs a single random access (the split
+/// `mark`/`slot` array layout cost two misses per distinct neighbour —
+/// measurably the contraction kernel's hottest loss against the serial
+/// position table).
+#[derive(Clone, Copy, Debug, Default)]
+struct MarkCell {
+    stamp: u32,
+    slot: u32,
+}
+
+/// Per-worker timestamped marker table for the row-fill pass.
+/// `cells[cu].stamp == stamp` means coarse neighbour `cu` is already in
+/// the current row at position `cells[cu].slot`; bumping `stamp`
+/// invalidates the whole table in O(1), so there is no per-row reset walk
+/// at all.
 #[derive(Debug, Default)]
 struct MarkerTable {
     stamp: u32,
-    mark: Vec<u32>,
-    slot: Vec<u32>,
+    cells: Vec<MarkCell>,
 }
 
 impl MarkerTable {
     /// Grows the table to cover `cn` coarse vertices (entries start at
     /// generation 0, i.e. "never seen").
     fn ensure(&mut self, cn: usize) {
-        if self.mark.len() < cn {
-            self.mark.resize(cn, 0);
-            self.slot.resize(cn, 0);
+        if self.cells.len() < cn {
+            self.cells.resize(cn, MarkCell::default());
         }
     }
 
@@ -259,7 +365,7 @@ impl MarkerTable {
     fn begin_row(&mut self) -> u32 {
         if self.stamp == u32::MAX {
             // Generation counter exhausted (4 billion rows): hard reset.
-            self.mark.fill(0);
+            self.cells.fill(MarkCell::default());
             self.stamp = 0;
         }
         self.stamp += 1;
@@ -276,12 +382,22 @@ impl MarkerTable {
 #[derive(Debug, Default)]
 pub struct SmpCoarsenScratch {
     markers: Vec<MarkerTable>,
-    /// Coarse id of each representative fine vertex (garbage elsewhere).
-    rep_id: Vec<u32>,
-    /// Representative pairs `(v, mate)` in coarse-id order.
-    reps: Vec<(u32, u32)>,
+    /// Rank of each representative fine vertex *within its own stripe*
+    /// (garbage at non-representative indices); global coarse id =
+    /// stripe's id base + rank.
+    rank_id: Vec<u32>,
+    /// Per-stripe representative pairs `(v, mate)` in fine order.
+    rep_lists: Vec<Vec<(u32, u32)>>,
     /// Actual row lengths after the fill.
     row_len: Vec<u32>,
+    /// Degree-bound-sized adjacency slabs the stripes fill in parallel.
+    /// Persisting them across levels means only the finest level ever pays
+    /// for the allocation; every coarser level writes warm pages.
+    adj_slab: Vec<Vertex>,
+    wgt_slab: Vec<i64>,
+    /// Scratch for the serial-delegation fast path [`contract_smp`] takes
+    /// when the pool cannot actually run the stripes concurrently.
+    serial: crate::coarsen::ContractionScratch,
 }
 
 impl SmpCoarsenScratch {
@@ -314,6 +430,17 @@ pub fn contract_smp(
     nthreads: usize,
     scratch: &mut SmpCoarsenScratch,
 ) -> (Graph, Vec<u32>) {
+    // Contraction is matching-determined: the striped kernel reproduces the
+    // serial CSR bit for bit at every stripe count, so — unlike the
+    // matching, whose *output* is shaped by the stripe count — the stripe
+    // structure here is purely an execution strategy. When the pool has no
+    // second worker to offer (single-core host, MCGP_THREADS=1, budget
+    // exhausted by an enclosing region), the striped passes are pure
+    // overhead and the serial kernel is the faster way to compute the very
+    // same answer.
+    if nthreads > 1 && pool::threads_for(nthreads) <= 1 {
+        return crate::coarsen::contract_with_scratch(graph, matching, &mut scratch.serial);
+    }
     let n = graph.nvtxs();
     let ncon = graph.ncon();
     let cn = matching.coarse_nvtxs;
@@ -323,84 +450,96 @@ pub fn contract_smp(
     let mate = &matching.mate;
     let SmpCoarsenScratch {
         markers,
-        rep_id,
-        reps,
+        rank_id,
+        rep_lists,
         row_len,
+        adj_slab,
+        wgt_slab,
+        serial: _,
     } = scratch;
 
-    // --- Coarse ids + slab capacities -------------------------------------
+    // --- Pass 1: stripe ranks, representative pairs, slab capacities ------
     // A vertex represents its pair iff it is the lower endpoint
     // (`mate[v] >= v` also covers singletons); ids are assigned in fine
-    // order, reproducing the serial numbering. The same sweep sums each
-    // stripe's degree bound — the summed fine degrees of its
-    // representatives upper-bound the stripe's coarse adjacency exactly
-    // (contraction only merges or drops edges) — so one pass yields both
-    // the per-stripe id bases and the per-stripe output slab bases.
-    let stats: Vec<(usize, usize)> = pool::map(stripes, |s| {
-        let mut count = 0usize;
-        let mut cap = 0usize;
-        for (v, &m) in mate.iter().enumerate().take(bounds[s + 1]).skip(bounds[s]) {
-            let u = m as usize;
-            if u >= v {
-                count += 1;
-                cap += graph.degree(v);
-                if u != v {
-                    cap += graph.degree(u);
-                }
-            }
-        }
-        (count, cap)
-    });
-    let rep_counts: Vec<usize> = stats.iter().map(|&(c, _)| c).collect();
-    let slab_caps: Vec<usize> = stats.iter().map(|&(_, c)| c).collect();
-    let rep_base = exclusive_prefix_sum(&rep_counts);
-    let slab_base = exclusive_prefix_sum(&slab_caps);
-    debug_assert_eq!(rep_base[stripes], cn, "matching miscounted coarse_nvtxs");
-
-    if rep_id.len() < n {
-        rep_id.resize(n, 0);
+    // order, reproducing the serial numbering. One sweep of each stripe's
+    // `mate` entries yields everything the later passes need: the stripe's
+    // representative pairs (collected into a per-stripe scratch list), each
+    // representative's rank within the stripe, and the stripe's degree
+    // bound — the summed fine degrees of its representatives upper-bound
+    // the stripe's coarse adjacency exactly (contraction only merges or
+    // drops edges). Prefix sums then turn ranks into global coarse ids and
+    // capacities into output slab bases.
+    if rank_id.len() < n {
+        rank_id.resize(n, 0);
     }
-    if reps.len() < cn {
-        reps.resize(cn, (0, 0));
+    while rep_lists.len() < stripes {
+        rep_lists.push(Vec::new());
     }
-    {
-        let id_chunks = split_chunks(&mut rep_id[..], &bounds);
-        let rep_chunks = split_chunks(&mut reps[..], &rep_base);
-        let items: Vec<_> = id_chunks.into_iter().zip(rep_chunks).collect();
-        zip_map(items, |s, (ids, rp)| {
-            let mut c = 0usize;
+    let slab_caps: Vec<usize> = {
+        let rank_chunks = split_chunks(&mut rank_id[..], &bounds);
+        let list_refs: Vec<&mut Vec<(u32, u32)>> =
+            rep_lists.iter_mut().take(stripes).collect();
+        let items: Vec<_> = rank_chunks.into_iter().zip(list_refs).collect();
+        zip_map(items, |s, (ranks, reps)| {
+            reps.clear();
+            let mut cap = 0usize;
             for (i, v) in (bounds[s]..bounds[s + 1]).enumerate() {
                 let u = mate[v] as usize;
                 if u >= v {
-                    ids[i] = (rep_base[s] + c) as u32;
-                    rp[c] = (v as u32, u as u32);
-                    c += 1;
+                    ranks[i] = reps.len() as u32;
+                    reps.push((v as u32, u as u32));
+                    cap += graph.degree(v);
+                    if u != v {
+                        cap += graph.degree(u);
+                    }
                 }
             }
-        });
-    }
-    let (rep_id, reps) = (&rep_id[..], &reps[..]);
+            cap
+        })
+    };
+    let rep_counts: Vec<usize> = rep_lists.iter().take(stripes).map(Vec::len).collect();
+    let rep_base = exclusive_prefix_sum(&rep_counts);
+    let slab_base = exclusive_prefix_sum(&slab_caps);
+    debug_assert_eq!(rep_base[stripes], cn, "matching miscounted coarse_nvtxs");
+    let (rank_id, rep_lists) = (&rank_id[..], &rep_lists[..]);
 
-    // Every vertex inherits its representative's coarse id.
+    // --- Pass 2: every vertex inherits its representative's coarse id -----
+    // The owner's global id is its stripe's base plus its rank; the owning
+    // stripe is arithmetic (stripes are near-equal: the first `n % stripes`
+    // are one element longer), so no search and no global id array.
+    let (quota, extra) = (n / stripes, n % stripes);
+    let long_end = (quota + 1) * extra;
+    let stripe_of = move |v: usize| {
+        if v < long_end {
+            v / (quota + 1)
+        } else {
+            extra + (v - long_end) / quota
+        }
+    };
     let mut cmap = vec![0u32; n];
     {
         let chunks = split_chunks(&mut cmap[..], &bounds);
         zip_map(chunks, |s, chunk| {
             for (i, v) in (bounds[s]..bounds[s + 1]).enumerate() {
                 let u = mate[v] as usize;
-                chunk[i] = if u >= v { rep_id[v] } else { rep_id[u] };
+                let (owner, os) = if u >= v { (v, s) } else { (u, stripe_of(u)) };
+                chunk[i] = (rep_base[os] + rank_id[owner] as usize) as u32;
             }
         });
     }
 
-    // --- Pass 2: parallel packed row fill ---------------------------------
-    // Each stripe writes its rows back-to-back into its own slab: the
-    // compaction that used to be a third pass is fused into the fill, and
-    // the buffers below end up as the coarse CSR itself (moved, not
-    // copied), so they are plain locals rather than reusable scratch.
+    // --- Pass 3: parallel packed row fill ---------------------------------
+    // Each stripe writes its rows back-to-back into its own scratch slab:
+    // the compaction that used to be a third pass is fused into the fill,
+    // and finalisation copies each stripe's packed block straight to its
+    // final offset in the exact-size CSR arrays.
     let slab_total = slab_base[stripes];
-    let mut adjncy: Vec<Vertex> = vec![0; slab_total];
-    let mut adjwgt: Vec<i64> = vec![0; slab_total];
+    if adj_slab.len() < slab_total {
+        adj_slab.resize(slab_total, 0);
+    }
+    if wgt_slab.len() < slab_total {
+        wgt_slab.resize(slab_total, 0);
+    }
     if row_len.len() < cn {
         row_len.resize(cn, 0);
     }
@@ -410,8 +549,8 @@ pub fn contract_smp(
     let mut vwgt = vec![0i64; cn * ncon];
     let vwgt_bounds: Vec<usize> = rep_base.iter().map(|&c| c * ncon).collect();
     let actual: Vec<usize> = {
-        let an_chunks = split_chunks(&mut adjncy[..], &slab_base);
-        let aw_chunks = split_chunks(&mut adjwgt[..], &slab_base);
+        let an_chunks = split_chunks(&mut adj_slab[..], &slab_base);
+        let aw_chunks = split_chunks(&mut wgt_slab[..], &slab_base);
         let rl_chunks = split_chunks(&mut row_len[..], &rep_base);
         let vw_chunks = split_chunks(&mut vwgt[..], &vwgt_bounds);
         let mk_refs: Vec<&mut MarkerTable> = markers.iter_mut().take(stripes).collect();
@@ -430,7 +569,7 @@ pub fn contract_smp(
             // starts where the previous one ended, not at a degree-bound
             // provisional offset.
             let mut at = 0usize;
-            for (i, &(v, u)) in reps[rep_base[s]..rep_base[s + 1]].iter().enumerate() {
+            for (i, &(v, u)) in rep_lists[s].iter().enumerate() {
                 let cg = rep_base[s] + i;
                 let stamp = mk.begin_row();
                 let mut len = 0usize;
@@ -440,11 +579,12 @@ pub fn contract_smp(
                         if cu == cg {
                             continue; // internal (matched) edge disappears
                         }
-                        if mk.mark[cu] == stamp {
-                            aw[at + mk.slot[cu] as usize] += w;
+                        let cell = &mut mk.cells[cu];
+                        if cell.stamp == stamp {
+                            aw[at + cell.slot as usize] += w;
                         } else {
-                            mk.mark[cu] = stamp;
-                            mk.slot[cu] = len as u32;
+                            cell.stamp = stamp;
+                            cell.slot = len as u32;
                             an[at + len] = cu as u32;
                             aw[at + len] = w;
                             len += 1;
@@ -476,26 +616,20 @@ pub fn contract_smp(
     let total = acc;
     let final_base = exclusive_prefix_sum(&actual);
     debug_assert_eq!(final_base[stripes], total, "row lengths disagree with slab fill");
-    // Close the slack the degree bounds over-reserved: shift each stripe's
-    // packed block left to its final offset. A stripe whose preceding
-    // slabs came out exact is already in place and is skipped — stripe 0
-    // always is, and when every slab was tight the whole loop is a no-op
-    // (the degenerate case the old per-row compaction pass paid full price
-    // for).
-    let mut shifted = 0usize;
-    for s in 1..stripes {
-        if final_base[s] != slab_base[s] && actual[s] > 0 {
-            adjncy.copy_within(slab_base[s]..slab_base[s] + actual[s], final_base[s]);
-            adjwgt.copy_within(slab_base[s]..slab_base[s] + actual[s], final_base[s]);
-            shifted += 1;
-        }
+    // Close the slack the degree bounds over-reserved: one pass copies each
+    // stripe's packed block from its slab to its final offset in exact-size
+    // output arrays — the only full copy in the kernel, and it doubles as
+    // the move into the coarse graph.
+    let mut adjncy: Vec<Vertex> = Vec::with_capacity(total);
+    let mut adjwgt: Vec<i64> = Vec::with_capacity(total);
+    for s in 0..stripes {
+        adjncy.extend_from_slice(&adj_slab[slab_base[s]..slab_base[s] + actual[s]]);
+        adjwgt.extend_from_slice(&wgt_slab[slab_base[s]..slab_base[s] + actual[s]]);
     }
-    adjncy.truncate(total);
-    adjwgt.truncate(total);
     event!(
         "contract_smp_compact",
         stripes = stripes,
-        shifted = shifted,
+        edges = total,
         slack = slab_total - total,
     );
 

@@ -7,6 +7,7 @@ use crate::boundary::RefineWorkspace;
 use crate::coarsen::{coarsen, CoarseLevel};
 use crate::config::PartitionConfig;
 use crate::kway_refine::{greedy_kway_refine_ws, KwayRefineStats};
+use crate::kway_refine_smp::{smp_kway_refine_ws, SMP_REFINE_MIN_NVTXS};
 use crate::rb::recursive_bisection_assignment;
 use crate::PartitionResult;
 use crate::balance::imbalances_from_pw;
@@ -94,8 +95,24 @@ pub(crate) fn initial_and_refine(
         if !model.is_balanced(&pw) {
             rebalance(g, assignment, &mut pw, &model, rng);
         }
+        // The parallel refiner takes over at `nthreads > 1` on levels big
+        // enough to stripe; the threshold is a fixed constant, so which
+        // refiner runs is part of the `(seed, nthreads)` contract.
         let stats: KwayRefineStats =
-            greedy_kway_refine_ws(g, assignment, &mut pw, &model, config.refine_iters, rng, ws);
+            if config.nthreads > 1 && g.nvtxs() >= SMP_REFINE_MIN_NVTXS {
+                smp_kway_refine_ws(
+                    g,
+                    assignment,
+                    &mut pw,
+                    &model,
+                    config.refine_iters,
+                    config.nthreads,
+                    rng,
+                    ws,
+                )
+            } else {
+                greedy_kway_refine_ws(g, assignment, &mut pw, &model, config.refine_iters, rng, ws)
+            };
         // Seam: post-refine. Refinement moves vertices but must keep the
         // assignment in range and every subdomain populated.
         if config.check.enabled() {
@@ -230,6 +247,28 @@ mod tests {
                 r.quality.imbalances
             );
         }
+    }
+
+    #[test]
+    fn threaded_pipeline_recovers_balance_multiconstraint() {
+        // Regression: the threaded recursive bisection starts uncoarsening
+        // more imbalanced than the serial one, which used to wedge the
+        // multi-constraint pipeline — every part over the cap on one
+        // constraint, `fits` blocking every move, final imbalance ~1.12
+        // with zero refinement moves. The swap tier in `rebalance` breaks
+        // the wedge; the finest level must land inside the caps again.
+        let g = synthetic::type1(&mrng_like(20_000, 7), 3, 7);
+        let cfg = PartitionConfig {
+            nthreads: 2,
+            ..PartitionConfig::default()
+        };
+        let r = partition_kway(&g, 16, &cfg);
+        assert!(
+            r.quality.max_imbalance <= 1.08,
+            "threaded ncon3 pipeline left imbalance {} ({:?})",
+            r.quality.max_imbalance,
+            r.quality.imbalances
+        );
     }
 
     #[test]

@@ -181,7 +181,7 @@ pub fn greedy_kway_refine_ws(
 /// per-part average (`inv_avg[i]` = nparts / total weight of constraint `i`,
 /// or 0 for an all-zero constraint).
 #[inline]
-fn part_load(pw: &[i64], ncon: usize, p: usize, inv_avg: &[f64]) -> f64 {
+pub(crate) fn part_load(pw: &[i64], ncon: usize, p: usize, inv_avg: &[f64]) -> f64 {
     let mut worst: f64 = 0.0;
     for i in 0..ncon {
         worst = worst.max(pw[p * ncon + i] as f64 * inv_avg[i]);
@@ -194,7 +194,7 @@ fn part_load(pw: &[i64], ncon: usize, p: usize, inv_avg: &[f64]) -> f64 {
 /// same float multiply as `part_load`, so the value is bit-identical to an
 /// apply/revert probe.
 #[inline]
-fn part_load_shifted(pw: &[i64], ncon: usize, p: usize, vw: &[i64], sign: i64, inv_avg: &[f64]) -> f64 {
+pub(crate) fn part_load_shifted(pw: &[i64], ncon: usize, p: usize, vw: &[i64], sign: i64, inv_avg: &[f64]) -> f64 {
     let mut worst: f64 = 0.0;
     for i in 0..ncon {
         worst = worst.max((pw[p * ncon + i] + sign * vw[i]) as f64 * inv_avg[i]);

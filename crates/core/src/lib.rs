@@ -52,6 +52,7 @@ pub mod initial;
 pub mod kway;
 pub mod kway_refine;
 pub mod kway_refine_pq;
+pub mod kway_refine_smp;
 pub mod matching;
 pub mod pqueue;
 pub mod rb;

@@ -5,7 +5,9 @@
 //! halves, recursing with part counts `⌈k/2⌉ / ⌊k/2⌋` (uneven target
 //! fractions handle non-power-of-two k). Recursive bisection is both a
 //! standalone partitioner and the initial-partitioning engine of the k-way
-//! driver, exactly as in METIS.
+//! driver, exactly as in METIS. At `nthreads > 1` the two halves of every
+//! split recurse as independent [`pool::join`] tasks with split
+//! deterministic RNG streams.
 
 use crate::coarsen::coarsen;
 use crate::config::PartitionConfig;
@@ -14,6 +16,7 @@ use crate::initial::initial_bisection;
 use crate::PartitionResult;
 use mcgp_graph::subgraph::split_bisection;
 use mcgp_graph::Graph;
+use mcgp_runtime::pool;
 use mcgp_runtime::rng::Rng;
 
 /// One complete multilevel bisection of `graph` with side-0 target
@@ -97,15 +100,42 @@ fn recurse(
     let (left, right) = split_bisection(graph, &side);
     let mut left_out = vec![0u32; left.graph.nvtxs()];
     let mut right_out = vec![0u32; right.graph.nvtxs()];
-    recurse(&left.graph, left_parts, base, config, rng, &mut left_out);
-    recurse(
-        &right.graph,
-        right_parts,
-        base + left_parts as u32,
-        config,
-        rng,
-        &mut right_out,
-    );
+    if config.nthreads > 1 {
+        // Task-tree parallelism: the two halves are independent, so they
+        // run as pool tasks. Each subtree reseeds from a value drawn off
+        // the parent stream, making the RNG streams (and so the output) a
+        // function of `(seed, nthreads)` alone — whether `pool::join`
+        // actually spawned a worker or degraded inline never shows.
+        let lseed = rng.next_u64();
+        let rseed = rng.next_u64();
+        pool::join(
+            || {
+                let mut lrng = Rng::seed_from_u64(lseed);
+                recurse(&left.graph, left_parts, base, config, &mut lrng, &mut left_out);
+            },
+            || {
+                let mut rrng = Rng::seed_from_u64(rseed);
+                recurse(
+                    &right.graph,
+                    right_parts,
+                    base + left_parts as u32,
+                    config,
+                    &mut rrng,
+                    &mut right_out,
+                );
+            },
+        );
+    } else {
+        recurse(&left.graph, left_parts, base, config, rng, &mut left_out);
+        recurse(
+            &right.graph,
+            right_parts,
+            base + left_parts as u32,
+            config,
+            rng,
+            &mut right_out,
+        );
+    }
     for (local, &parent) in left.to_parent.iter().enumerate() {
         out[parent as usize] = left_out[local];
     }

@@ -146,6 +146,163 @@ impl ToJson for GateReport {
     }
 }
 
+/// Configuration for the threads-win rule: inside one (fresh) report,
+/// every `<stem>_tN` row under a gated prefix must not be slower than its
+/// `<stem>_t1` sibling past `tolerance`. This is what makes "the parallel
+/// pipeline beats serial" an enforced invariant instead of a hope: the
+/// comparison is within a single run on a single machine, so it is immune
+/// to cross-host baseline drift.
+#[derive(Clone, Debug)]
+pub struct ThreadsWinConfig {
+    /// Bench-name prefixes enrolled in the rule (e.g.
+    /// `coarsen/hierarchy/mrng200k`, `partition/full/`). Rows not under
+    /// any prefix are ignored.
+    pub prefixes: Vec<String>,
+    /// Fail when `tN_median > t1_median * tolerance`. Slightly above 1:
+    /// on a loaded host, equal medians jitter a few percent either way.
+    pub tolerance: f64,
+    /// `_t1` medians below this are too fast to compare meaningfully;
+    /// their groups are listed with `gated: false` and never fail.
+    pub noise_floor_s: f64,
+}
+
+impl Default for ThreadsWinConfig {
+    fn default() -> Self {
+        ThreadsWinConfig {
+            prefixes: Vec::new(),
+            tolerance: 1.10,
+            noise_floor_s: 0.005,
+        }
+    }
+}
+
+/// One `_tN`-vs-`_t1` comparison.
+#[derive(Clone, Debug)]
+pub struct ThreadsWinCheck {
+    /// Bench name minus the `_tN` suffix.
+    pub stem: String,
+    /// The N of the threaded row.
+    pub threads: u64,
+    pub t1_median_s: f64,
+    pub tn_median_s: f64,
+    /// `tN / t1`; > 1 means the threaded row is slower.
+    pub ratio: f64,
+    pub gated: bool,
+    pub regressed: bool,
+}
+
+/// Result of [`threads_win`] over one report.
+#[derive(Clone, Debug)]
+pub struct ThreadsWinReport {
+    pub checks: Vec<ThreadsWinCheck>,
+    pub tolerance: f64,
+}
+
+impl ThreadsWinReport {
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| !c.regressed)
+    }
+
+    pub fn regressions(&self) -> impl Iterator<Item = &ThreadsWinCheck> {
+        self.checks.iter().filter(|c| c.regressed)
+    }
+}
+
+impl ToJson for ThreadsWinReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "verdict",
+                Json::Str(if self.passed() { "pass" } else { "fail" }.into()),
+            ),
+            ("tolerance", Json::Float(self.tolerance)),
+            ("compared", Json::UInt(self.checks.len() as u64)),
+            (
+                "regressed",
+                Json::UInt(self.regressions().count() as u64),
+            ),
+            (
+                "checks",
+                Json::Arr(
+                    self.checks
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("stem", Json::Str(c.stem.clone())),
+                                ("threads", Json::UInt(c.threads)),
+                                ("t1_median_s", Json::Float(c.t1_median_s)),
+                                ("tn_median_s", Json::Float(c.tn_median_s)),
+                                ("ratio", Json::Float(c.ratio)),
+                                ("gated", Json::Bool(c.gated)),
+                                ("regressed", Json::Bool(c.regressed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Splits a bench name into `(stem, N)` when it ends in `_t<digits>`.
+fn split_threads_suffix(name: &str) -> Option<(&str, u64)> {
+    let at = name.rfind("_t")?;
+    let digits = &name[at + 2..];
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((&name[..at], digits.parse().ok()?))
+}
+
+/// Runs the threads-win rule over one parsed report. Errors when a
+/// prefix matches threaded rows with no `_t1` sibling (the comparison
+/// would be silently skipped) or matches nothing at all (a vacuous pass).
+pub fn threads_win(
+    report: &BTreeMap<String, BenchRow>,
+    config: &ThreadsWinConfig,
+) -> Result<ThreadsWinReport, String> {
+    assert!(config.tolerance >= 1.0, "tolerance must be >= 1");
+    let mut checks = Vec::new();
+    for (name, row) in report {
+        if !config.prefixes.iter().any(|p| name.starts_with(p.as_str())) {
+            continue;
+        }
+        let Some((stem, n)) = split_threads_suffix(name) else {
+            continue;
+        };
+        if n <= 1 {
+            continue;
+        }
+        let t1_name = format!("{stem}_t1");
+        let Some(t1) = report.get(&t1_name) else {
+            return Err(format!(
+                "threads-win: `{name}` has no `{t1_name}` sibling to compare against"
+            ));
+        };
+        let ratio = row.median_s / t1.median_s.max(f64::MIN_POSITIVE);
+        let gated = t1.median_s >= config.noise_floor_s;
+        checks.push(ThreadsWinCheck {
+            stem: stem.to_string(),
+            threads: n,
+            t1_median_s: t1.median_s,
+            tn_median_s: row.median_s,
+            ratio,
+            gated,
+            regressed: gated && ratio > config.tolerance,
+        });
+    }
+    if checks.is_empty() {
+        return Err(format!(
+            "threads-win: no `_tN` rows matched prefixes {:?} — nothing gated",
+            config.prefixes
+        ));
+    }
+    Ok(ThreadsWinReport {
+        checks,
+        tolerance: config.tolerance,
+    })
+}
+
 /// Parses a bench JSONL report into `name → row`, enforcing the same
 /// schema `mcgp bench-check` validates (so the gate never compares
 /// garbage). Duplicate bench names are an error: the gate would silently
@@ -344,6 +501,72 @@ mod tests {
         // Blank lines are fine.
         let ok = format!("\n{}\n\n", file(&[("a", 0.1, None)]));
         assert_eq!(parse_bench_file(&ok, "t").unwrap().len(), 1);
+    }
+
+    fn tw_config(prefixes: &[&str]) -> ThreadsWinConfig {
+        ThreadsWinConfig {
+            prefixes: prefixes.iter().map(|p| p.to_string()).collect(),
+            ..ThreadsWinConfig::default()
+        }
+    }
+
+    #[test]
+    fn threads_win_passes_when_threaded_rows_hold_serial_speed() {
+        let rows = parse(&[
+            ("full/g_t1", 0.100, None),
+            ("full/g_t2", 0.095, None),
+            ("full/g_t8", 0.108, None), // within the 1.10x default
+            ("other/x_t1", 0.1, None),
+            ("other/x_t2", 9.0, None), // not enrolled: no prefix match
+        ]);
+        let report = threads_win(&rows, &tw_config(&["full/"])).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 2);
+        assert!(report.checks.iter().all(|c| c.stem == "full/g"));
+        assert_eq!(
+            report.to_json().get("verdict").unwrap().as_str(),
+            Some("pass")
+        );
+    }
+
+    #[test]
+    fn threads_win_fails_when_a_threaded_row_is_slower() {
+        let rows = parse(&[("full/g_t1", 0.100, None), ("full/g_t2", 0.150, None)]);
+        let report = threads_win(&rows, &tw_config(&["full/"])).unwrap();
+        assert!(!report.passed());
+        let bad: Vec<u64> = report.regressions().map(|c| c.threads).collect();
+        assert_eq!(bad, [2]);
+    }
+
+    #[test]
+    fn threads_win_noise_floor_and_missing_sibling() {
+        // A sub-floor t1: reported, never failed.
+        let rows = parse(&[("full/tiny_t1", 0.0001, None), ("full/tiny_t2", 0.01, None)]);
+        let report = threads_win(&rows, &tw_config(&["full/"])).unwrap();
+        assert!(report.passed());
+        assert!(!report.checks[0].gated);
+
+        // A threaded row with no _t1 sibling is a configuration error,
+        // not a silent skip.
+        let rows = parse(&[("full/g_t2", 0.1, None)]);
+        assert!(threads_win(&rows, &tw_config(&["full/"]))
+            .unwrap_err()
+            .contains("no `full/g_t1` sibling"));
+
+        // A prefix that matches nothing: vacuous pass forbidden.
+        let rows = parse(&[("elsewhere_t1", 0.1, None), ("elsewhere_t2", 0.1, None)]);
+        assert!(threads_win(&rows, &tw_config(&["full/"])).is_err());
+
+        // Names without a _tN suffix under the prefix are ignored.
+        let rows = parse(&[
+            ("full/g_t1", 0.1, None),
+            ("full/g_t2", 0.1, None),
+            ("full/total", 0.1, None),
+        ]);
+        assert_eq!(
+            threads_win(&rows, &tw_config(&["full/"])).unwrap().checks.len(),
+            1
+        );
     }
 
     #[test]

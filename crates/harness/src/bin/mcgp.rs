@@ -12,7 +12,8 @@
 //! mcgp trace-check <trace-file> [--format jsonl|chrome|folded]
 //! mcgp bench-check <bench-jsonl-file>
 //! mcgp bench-gate <baseline-jsonl> <fresh-jsonl> [--tolerance <x>]
-//!                 [--noise-floor-ms <ms>]
+//!                 [--noise-floor-ms <ms>] [--threads-win <prefix>[,..]]
+//!                 [--threads-win-tolerance <x>]
 //! mcgp serve [--addr <host:port>] [--workers <n>] [--cache-mb <mb>]
 //!            [--timeout-secs <s>] [--port-file <f>] [--trace <f>]
 //! mcgp serve-request --addr <host:port> (--get <path> | <file.graph|gen:...> <k>)
@@ -626,9 +627,11 @@ fn run_bench_check(opts: &Opts) {
 /// "it got slower" apart from "the gate itself broke".
 fn run_bench_gate(opts: &Opts) {
     let usage = "usage: mcgp bench-gate <baseline-jsonl> <fresh-jsonl> \
-                 [--tolerance <x>] [--noise-floor-ms <ms>]";
+                 [--tolerance <x>] [--noise-floor-ms <ms>] \
+                 [--threads-win <prefix>[,<prefix>..]] [--threads-win-tolerance <x>]";
     let mut files: Vec<String> = Vec::new();
     let mut config = mcgp_harness::bench_gate::GateConfig::default();
+    let mut tw_config = mcgp_harness::bench_gate::ThreadsWinConfig::default();
     let mut it = opts.rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -636,6 +639,15 @@ fn run_bench_gate(opts: &Opts) {
             "--noise-floor-ms" => {
                 let ms: f64 = parse_value(flag_value(&mut it, a, usage), a);
                 config.noise_floor_s = ms / 1000.0;
+            }
+            "--threads-win" => {
+                let list = flag_value(&mut it, a, usage);
+                tw_config
+                    .prefixes
+                    .extend(list.split(',').filter(|p| !p.is_empty()).map(String::from));
+            }
+            "--threads-win-tolerance" => {
+                tw_config.tolerance = parse_value(flag_value(&mut it, a, usage), a);
             }
             other if files.len() < 2 => files.push(other.to_string()),
             other => die(format!("unexpected argument `{other}`\n{usage}")),
@@ -646,6 +658,12 @@ fn run_bench_gate(opts: &Opts) {
     }
     if config.tolerance < 1.0 || !config.tolerance.is_finite() {
         die(format!("--tolerance must be a finite ratio >= 1, got {}", config.tolerance));
+    }
+    if tw_config.tolerance < 1.0 || !tw_config.tolerance.is_finite() {
+        die(format!(
+            "--threads-win-tolerance must be a finite ratio >= 1, got {}",
+            tw_config.tolerance
+        ));
     }
     let read = |path: &str| -> String {
         std::fs::read_to_string(path).unwrap_or_else(|e| die(format!("failed to read {path}: {e}")))
@@ -658,7 +676,30 @@ fn run_bench_gate(opts: &Opts) {
     let fresh = parse(&files[1]);
     let report = mcgp_harness::bench_gate::gate(&baseline, &fresh, &config)
         .unwrap_or_else(|e| die(format!("bench-gate: {e}")));
-    println!("{}", mcgp_runtime::json::ToJson::to_json(&report));
+    // Threads-win rule: within the fresh run only — `_tN` rows enrolled
+    // via --threads-win must hold their `_t1` siblings' speed.
+    let tw_report = (!tw_config.prefixes.is_empty()).then(|| {
+        mcgp_harness::bench_gate::threads_win(&fresh, &tw_config)
+            .unwrap_or_else(|e| die(format!("bench-gate: {e}")))
+    });
+    let passed = report.passed() && tw_report.as_ref().is_none_or(|t| t.passed());
+    let mut doc = match mcgp_runtime::json::ToJson::to_json(&report) {
+        mcgp_runtime::json::Json::Obj(mut pairs) => {
+            // The top-level verdict covers both sections.
+            if let Some(v) = pairs.iter_mut().find(|(k, _)| k == "verdict") {
+                v.1 = mcgp_runtime::json::Json::Str(if passed { "pass" } else { "fail" }.into());
+            }
+            pairs
+        }
+        _ => unreachable!("GateReport serialises as an object"),
+    };
+    if let Some(tw) = &tw_report {
+        doc.push((
+            "threads_win".to_string(),
+            mcgp_runtime::json::ToJson::to_json(tw),
+        ));
+    }
+    println!("{}", mcgp_runtime::json::Json::Obj(doc));
     for c in &report.checks {
         let tag = if c.regressed {
             "REGRESSED"
@@ -678,6 +719,36 @@ fn run_bench_gate(opts: &Opts) {
     for name in &report.only_fresh {
         eprintln!("bench-gate: {name}: only in fresh (new bench, not gated)");
     }
+    if let Some(tw) = &tw_report {
+        for c in &tw.checks {
+            let tag = if c.regressed {
+                "LOST TO SERIAL"
+            } else if c.gated {
+                "ok"
+            } else {
+                "skipped (noise floor)"
+            };
+            eprintln!(
+                "bench-gate: threads-win {:<34} t1 {:>9.4}s vs t{} {:>9.4}s  x{:.2}  {tag}",
+                c.stem, c.t1_median_s, c.threads, c.tn_median_s, c.ratio
+            );
+        }
+        if tw.passed() {
+            eprintln!(
+                "bench-gate: threads-win pass — {} threaded row(s) within {:.2}x of t1",
+                tw.checks.len(),
+                tw.tolerance
+            );
+        } else {
+            eprintln!(
+                "bench-gate: threads-win FAIL — {} of {} threaded row(s) slower than \
+                 t1 past {:.2}x",
+                tw.regressions().count(),
+                tw.checks.len(),
+                tw.tolerance
+            );
+        }
+    }
     if report.passed() {
         eprintln!(
             "bench-gate: pass — {} bench(es) within {:.1}x of {}",
@@ -692,6 +763,8 @@ fn run_bench_gate(opts: &Opts) {
             report.checks.len(),
             report.tolerance
         );
+    }
+    if !passed {
         std::process::exit(1);
     }
 }

@@ -21,8 +21,74 @@
 //! tuple) with the same ordered merge, and [`stripe_bounds`] /
 //! [`exclusive_prefix_sum`] compute the contiguous stripe and row offsets
 //! those kernels are built from.
+//!
+//! For *task-tree* parallelism — recursive bisection runs the two halves
+//! of each split as independent tasks — [`join`] runs two closures,
+//! spawning the second on a scoped thread only when the process-wide
+//! worker budget has room. The budget (a live-worker count capped at
+//! `MCGP_THREADS` / `available_parallelism`) is shared with [`map`] and
+//! [`zip_map`], so nested parallel regions anywhere in a task tree
+//! degrade to inline execution instead of oversubscribing the pool, and
+//! no caller ever blocks waiting for a slot — there is no deadlock to
+//! have. Spawning decisions never affect results: `join` always returns
+//! `(a(), b())` and merges thread-local tallies in that fixed order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Live pool worker threads across the whole process (spawned by [`map`],
+/// [`zip_map`], or [`join`], released when their region ends). The cap is
+/// re-read from the environment per region, so only the *count* is global
+/// state.
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide worker-thread cap: `MCGP_THREADS` if set, else
+/// `available_parallelism`.
+fn worker_cap() -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    std::env::var("MCGP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(hw)
+}
+
+/// Reserves up to `want` worker slots subject to `LIVE_WORKERS <= cap`,
+/// returning a guard holding however many were granted (possibly zero).
+/// Never blocks: a region that gets no slots runs inline.
+fn reserve_workers(want: usize, cap: usize) -> BudgetGuard {
+    if want == 0 {
+        return BudgetGuard(0);
+    }
+    let mut granted = 0usize;
+    let _ = LIVE_WORKERS.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+        granted = want.min(cap.saturating_sub(cur));
+        if granted == 0 {
+            None
+        } else {
+            Some(cur + granted)
+        }
+    });
+    BudgetGuard(granted)
+}
+
+/// RAII release of reserved worker slots (releases on unwind too, so a
+/// panicking region caught upstream does not leak budget).
+struct BudgetGuard(usize);
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            LIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Live pool worker threads right now — observability for the budget
+/// regression tests; not part of the stable API.
+#[doc(hidden)]
+pub fn live_workers() -> usize {
+    LIVE_WORKERS.load(Ordering::Relaxed)
+}
 
 /// Everything a worker thread's thread-locals accumulated during its share
 /// of a parallel region.
@@ -56,8 +122,14 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let nthreads = threads_for(n);
-    if nthreads <= 1 || n <= 1 {
+    if threads_for(n) <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Reserve worker slots from the process-wide budget; a region nested
+    // inside an already-saturated task tree gets none and runs inline.
+    let budget = reserve_workers(threads_for(n), worker_cap());
+    let nthreads = budget.0;
+    if nthreads <= 1 {
         return (0..n).map(f).collect();
     }
     let next = AtomicUsize::new(0);
@@ -157,6 +229,14 @@ where
     if threads_for(n) <= 1 || n <= 1 {
         return items.into_iter().enumerate().map(|(i, a)| f(i, a)).collect();
     }
+    // One worker per owned item is structural (each item owns disjoint
+    // `&mut` state), so a partial budget grant cannot be used — either the
+    // whole region fits the budget or it runs inline.
+    let budget = reserve_workers(n, worker_cap());
+    if budget.0 < n {
+        drop(budget);
+        return items.into_iter().enumerate().map(|(i, a)| f(i, a)).collect();
+    }
     let profile_prefix = crate::profile::current_stack_ids();
     let mut out: Vec<T> = Vec::with_capacity(n);
     let mut reports: Vec<WorkerReport> = Vec::new();
@@ -193,6 +273,70 @@ where
         crate::metrics::merge_local(&r.metrics);
     }
     out
+}
+
+/// Runs `a` and `b`, returning `(a(), b())`. When the process-wide worker
+/// budget has a free slot, `b` runs on a scoped thread concurrently with
+/// `a` on the caller; otherwise both run inline, in that order. The
+/// results — and the merge order of thread-local phase counters, trace
+/// events, and metrics (`a`'s first, then `b`'s) — are identical either
+/// way, so scheduling never perturbs output: this is the task-tree
+/// primitive recursive bisection uses to run the two halves of a split
+/// concurrently without breaking the `(seed, nthreads)` determinism
+/// contract.
+///
+/// Nested freely: every level of a task tree draws from the same budget
+/// (capped at `MCGP_THREADS` / `available_parallelism`, minus one for the
+/// busy caller), and a reservation never blocks — exhausted budget means
+/// inline execution, never a deadlock.
+pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+{
+    // The caller keeps running `a`, so it occupies one slot implicitly:
+    // reserve against `cap - 1` to keep total runnable threads within cap.
+    let budget = reserve_workers(1, worker_cap().saturating_sub(1));
+    if budget.0 == 0 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let profile_prefix = crate::profile::current_stack_ids();
+    let mut rb_slot: Option<RB> = None;
+    let mut report: Option<WorkerReport> = None;
+    let ra = std::thread::scope(|scope| {
+        let h = {
+            let profile_prefix = &profile_prefix;
+            scope.spawn(move || {
+                let _pg = crate::profile::adopt_stack(profile_prefix);
+                let v = b();
+                (
+                    v,
+                    WorkerReport {
+                        phase: crate::phase::take_local(),
+                        events: crate::trace::take_local(),
+                        metrics: crate::metrics::take_local(),
+                    },
+                )
+            })
+        };
+        let ra = a();
+        let (v, rep) = h.join().expect("join worker panicked");
+        rb_slot = Some(v);
+        report = Some(rep);
+        ra
+    });
+    drop(budget);
+    // `a`'s tallies landed on the caller's thread-locals while it ran;
+    // merging `b`'s afterwards gives the same order as the inline path.
+    let rep = report.expect("join worker produced a report");
+    crate::phase::merge_local(&rep.phase);
+    crate::trace::merge_local(rep.events);
+    crate::metrics::merge_local(&rep.metrics);
+    (ra, rb_slot.expect("join worker produced a value"))
 }
 
 /// Boundaries of `stripes` near-equal contiguous stripes over `0..n`:
@@ -304,6 +448,42 @@ mod tests {
             counter_add(Counter::MovesAttempted, v as u64)
         });
         assert_eq!(take_local().counter(Counter::MovesAttempted), 28);
+    }
+
+    #[test]
+    fn join_returns_both_results_in_order() {
+        let (a, b) = join(|| 6 * 7, || "right".to_string());
+        assert_eq!((a, b.as_str()), (42, "right"));
+    }
+
+    #[test]
+    fn join_merges_worker_counters_like_inline() {
+        use crate::phase::{counter_add, take_local, Counter};
+        let _ = take_local();
+        join(
+            || counter_add(Counter::MovesAttempted, 3),
+            || counter_add(Counter::MovesAttempted, 4),
+        );
+        assert_eq!(take_local().counter(Counter::MovesAttempted), 7);
+    }
+
+    #[test]
+    fn nested_join_tree_completes_and_is_correct() {
+        // A 4-deep task tree: every level reserves from the same budget, so
+        // this must terminate (no blocking reservation) with the exact
+        // serial result whatever the budget grants.
+        fn tree_sum(lo: u64, hi: u64, depth: usize) -> u64 {
+            if depth == 0 || hi - lo < 2 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (l, r) = join(
+                || tree_sum(lo, mid, depth - 1),
+                || tree_sum(mid, hi, depth - 1),
+            );
+            l + r
+        }
+        assert_eq!(tree_sum(0, 1000, 4), 499_500);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Worker-budget regression tests: nested parallel regions — task-tree
+//! [`mcgp_runtime::pool::join`] spawns, [`mcgp_runtime::pool::map`] inside
+//! a join'd task, joins inside pool workers — must never exceed the
+//! `MCGP_THREADS` cap, never deadlock, and never change results.
+//!
+//! A single `#[test]` owns the whole sweep: `MCGP_THREADS` is process
+//! global, so the scenarios must not interleave with other env settings.
+
+use mcgp_runtime::pool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Records the peak of `pool::live_workers()` observed at every probe.
+struct Peak(AtomicUsize);
+
+impl Peak {
+    fn new() -> Peak {
+        Peak(AtomicUsize::new(0))
+    }
+    fn probe(&self) {
+        self.0.fetch_max(pool::live_workers(), Ordering::Relaxed);
+    }
+    fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A join task tree of the recursive-bisection shape: every node splits in
+/// two, probing the live-worker count as it works.
+fn join_tree(lo: u64, hi: u64, depth: usize, peak: &Peak) -> u64 {
+    peak.probe();
+    if depth == 0 || hi - lo < 2 {
+        return (lo..hi).map(|x| x * x).sum();
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (l, r) = pool::join(
+        || join_tree(lo, mid, depth - 1, peak),
+        || join_tree(mid, hi, depth - 1, peak),
+    );
+    l + r
+}
+
+#[test]
+fn nested_spawns_respect_the_thread_budget() {
+    let want: u64 = (0..4096u64).map(|x| x * x).sum();
+    std::env::set_var("MCGP_THREADS", "3");
+    let cap = 3usize;
+
+    // Deep join tree (64 leaves, budget 3): must complete, stay within the
+    // cap minus the busy caller, and match the serial sum exactly.
+    let peak = Peak::new();
+    assert_eq!(join_tree(0, 4096, 6, &peak), want);
+    assert!(
+        peak.get() < cap,
+        "join tree drove {} live workers past the cap's spawn room {}",
+        peak.get(),
+        cap - 1
+    );
+
+    // map() nested inside both sides of a join: the inner regions reserve
+    // from whatever the join left, so the process never exceeds the cap.
+    let peak = Peak::new();
+    let (l, r) = pool::join(
+        || {
+            pool::map(64, |i| {
+                peak.probe();
+                (i as u64) * (i as u64)
+            })
+            .into_iter()
+            .sum::<u64>()
+        },
+        || {
+            pool::map(64, |i| {
+                peak.probe();
+                ((i + 64) as u64) * ((i + 64) as u64)
+            })
+            .into_iter()
+            .sum::<u64>()
+        },
+    );
+    assert_eq!(l + r, (0..128u64).map(|x| x * x).sum::<u64>());
+    assert!(
+        peak.get() <= cap,
+        "map-under-join drove {} live workers past cap {cap}",
+        peak.get()
+    );
+
+    // joins nested inside pool workers (the inverse nesting): every worker
+    // of a saturated map() region tries to join; all must degrade inline
+    // rather than exceed the cap or deadlock.
+    let peak = Peak::new();
+    let sums = pool::map(8, |i| {
+        let base = (i as u64) * 512;
+        join_tree(base, base + 512, 3, &peak)
+    });
+    assert_eq!(sums.into_iter().sum::<u64>(), want);
+    assert!(
+        peak.get() <= cap,
+        "join-under-map drove {} live workers past cap {cap}",
+        peak.get()
+    );
+
+    // MCGP_THREADS=1: everything inline, zero workers ever spawned.
+    std::env::set_var("MCGP_THREADS", "1");
+    let peak = Peak::new();
+    assert_eq!(join_tree(0, 4096, 6, &peak), want);
+    assert_eq!(peak.get(), 0, "MCGP_THREADS=1 must never spawn workers");
+
+    std::env::remove_var("MCGP_THREADS");
+}

@@ -128,6 +128,10 @@ struct ServeStats {
     /// the cache verdict (`miss`/`hit`/`wait`) or `error`; other routes
     /// count `ok`/`error`.
     by_route: Mutex<BTreeMap<(&'static str, &'static str), u64>>,
+    /// Successful `/partition` requests by their `threads=` parameter, so
+    /// operators can see how much traffic actually exercises the parallel
+    /// pipeline.
+    by_threads: Mutex<BTreeMap<usize, u64>>,
     phases: Mutex<PhaseReport>,
     registry: Mutex<MetricsReport>,
     trace_events: Mutex<Vec<TraceEvent>>,
@@ -141,6 +145,7 @@ impl Default for ServeStats {
             errors: AtomicU64::new(0),
             latency_us: Mutex::new(WindowedHistogram::new(LATENCY_EPOCHS, LATENCY_EPOCH_LEN)),
             by_route: Mutex::new(BTreeMap::new()),
+            by_threads: Mutex::new(BTreeMap::new()),
             phases: Mutex::new(PhaseReport::default()),
             registry: Mutex::new(MetricsReport::default()),
             trace_events: Mutex::new(Vec::new()),
@@ -165,6 +170,15 @@ impl ServeStats {
         if let Some(us) = latency_us {
             self.latency_us.lock().unwrap().record(us as i64);
         }
+    }
+
+    fn count_threads(&self, nthreads: usize) {
+        *self
+            .by_threads
+            .lock()
+            .unwrap()
+            .entry(nthreads)
+            .or_insert(0) += 1;
     }
 
     fn record_error(&self, route: &'static str) {
@@ -580,7 +594,8 @@ fn handle_partition(state: &State, stream: &mut TcpStream, req: Request, t0: Ins
                 Ok(()) => {
                     state
                         .stats
-                        .record_ok("partition", verdict.header_value(), Some(total_us))
+                        .record_ok("partition", verdict.header_value(), Some(total_us));
+                    state.stats.count_threads(params.nthreads);
                 }
                 // The response could not be delivered (client went away):
                 // the work succeeded but the request did not.
@@ -654,6 +669,7 @@ fn metrics_json(state: &State) -> Json {
     let cache = state.cache.stats();
     let latency = stats.latency_us.lock().unwrap().clone();
     let by_route = stats.by_route.lock().unwrap().clone();
+    let by_threads = stats.by_threads.lock().unwrap().clone();
     let phases = stats.phases.lock().unwrap().clone();
     let registry = stats.registry.lock().unwrap().clone();
     let mut phase_pairs: Vec<(String, Json)> = Phase::ALL
@@ -668,6 +684,10 @@ fn metrics_json(state: &State) -> Json {
         .iter()
         .map(|((route, outcome), n)| (format!("{route}.{outcome}"), Json::UInt(*n)))
         .collect();
+    let thread_pairs: Vec<(String, Json)> = by_threads
+        .iter()
+        .map(|(t, n)| (format!("t{t}"), Json::UInt(*n)))
+        .collect();
     Json::obj([
         (
             "requests",
@@ -676,6 +696,11 @@ fn metrics_json(state: &State) -> Json {
         ("ok", Json::UInt(stats.ok.load(Ordering::Relaxed))),
         ("errors", Json::UInt(stats.errors.load(Ordering::Relaxed))),
         ("routes", Json::Obj(route_pairs)),
+        (
+            // Successful partitions keyed by their `threads=` parameter.
+            "partition_threads",
+            Json::Obj(thread_pairs),
+        ),
         (
             "cache",
             Json::obj([
@@ -717,6 +742,7 @@ fn metrics_prom(state: &State) -> String {
     let cache = state.cache.stats();
     let latency = stats.latency_us.lock().unwrap().clone();
     let by_route = stats.by_route.lock().unwrap().clone();
+    let by_threads = stats.by_threads.lock().unwrap().clone();
     let phases = stats.phases.lock().unwrap().clone();
     let window = latency.window();
     let mut w = PromWriter::new();
@@ -734,6 +760,15 @@ fn metrics_prom(state: &State) -> String {
         &[],
         stats.errors.load(Ordering::Relaxed),
     );
+    for (t, n) in &by_threads {
+        let t = t.to_string();
+        w.counter(
+            "mcgp_partition_threads_total",
+            "Successful partitions by requested thread count.",
+            &[("threads", t.as_str())],
+            *n,
+        );
+    }
     w.gauge(
         "mcgp_cache_entries",
         "Resident hierarchy-cache entries.",

@@ -491,6 +491,55 @@ fn profile_endpoint_returns_valid_collapsed_stacks() {
 }
 
 #[test]
+fn threaded_requests_are_deterministic_and_surfaced_in_metrics() {
+    let graph = synthetic::type1(&mrng_like(1200, 3), 2, 3);
+    let body = metis_bytes(&graph);
+    let (addr, handle, thread) = start_default();
+
+    // threads=2 over the wire: the fingerprint includes the thread count,
+    // so this is its own cache entry, and reruns are byte-identical.
+    let first = post(&addr, "/partition?k=4&threads=2", &body);
+    assert_eq!(first.status, 200, "{}", first.text());
+    assert_eq!(first.header("x-mcgp-cache"), Some("miss"));
+    let rerun = post(&addr, "/partition?k=4&threads=2", &body);
+    assert_eq!(rerun.header("x-mcgp-cache"), Some("hit"));
+    assert_eq!(first.body, rerun.body, "threaded rerun must be bit-identical");
+
+    // And the served result matches the library at the same (seed, threads).
+    let (_, parts, done) = parse_body(&first.text());
+    let lib_cfg = PartitionConfig {
+        nthreads: 2,
+        ..PartitionConfig::default()
+    };
+    let lib = partition_kway(&graph, 4, &lib_cfg);
+    assert_eq!(parts, lib.partition.assignment(), "served != library at t2");
+    assert_eq!(
+        done.get("edge_cut").unwrap().as_i64(),
+        Some(lib.quality.edge_cut)
+    );
+
+    // One serial request rides along so both buckets show up.
+    assert_eq!(post(&addr, "/partition?k=4", &body).status, 200);
+
+    let json = Json::parse(get(&addr, "/metrics").text().trim()).unwrap();
+    let by_threads = json.get("partition_threads").unwrap();
+    assert_eq!(by_threads.get("t2").unwrap().as_i64(), Some(2));
+    assert_eq!(by_threads.get("t1").unwrap().as_i64(), Some(1));
+
+    let prom = get(&addr, "/metrics?format=prom");
+    let text = prom.text();
+    mcgp_runtime::metrics::validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    for needle in [
+        "mcgp_partition_threads_total{threads=\"2\"} 2",
+        "mcgp_partition_threads_total{threads=\"1\"} 1",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+
+    stop(&handle, thread);
+}
+
+#[test]
 fn shutdown_endpoint_drains_and_run_returns() {
     let (addr, _handle, thread) = start_default();
     let resp = post(&addr, "/shutdown", b"");

@@ -56,8 +56,17 @@ if [ "$GATE" != "off" ]; then
     for f in "$REFINE_OUT" "$COARSEN_OUT" "$SERVE_OUT"; do
         base="$BASE_DIR/$(basename "$f")"
         [ -f "$base" ] || continue
+        # The coarsening file additionally carries the threads-win rule:
+        # its threaded hierarchy and end-to-end partition rows must hold
+        # serial speed within the fresh run itself. Unlike the baseline
+        # comparison this one is same-host same-run, so it is fatal.
+        TW_ARGS=""
+        if [ "$f" = "$COARSEN_OUT" ]; then
+            TW_ARGS="--threads-win coarsen/hierarchy/mrng200k,partition/full/mrng200k"
+        fi
+        # shellcheck disable=SC2086
         if ./target/release/mcgp bench-gate "$base" "$f" \
-            --tolerance "$GATE" > /dev/null; then
+            --tolerance "$GATE" $TW_ARGS > /dev/null; then
             echo "bench: gate ok for $f (tolerance ${GATE}x)"
         else
             echo "bench: WARNING: $f regressed past ${GATE}x vs committed baseline" >&2

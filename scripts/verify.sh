@@ -42,11 +42,19 @@ cmp "$TRACE_DIR/prof.part" "$TRACE_DIR/noprof.part"
     --outfile "$TRACE_DIR/prof_t4.part" > /dev/null
 # Format inference: a collapsed file is neither '[' nor '{'.
 ./target/release/mcgp trace-check "$TRACE_DIR/smoke_t4.folded"
+# The profiler must be a pure observer on the threaded pipeline too: the
+# t=4 partition with sampling on is byte-identical to the one without.
+./target/release/mcgp partition gen:mrng:60000:3 8 --threads 4 \
+    --outfile "$TRACE_DIR/noprof_t4.part" > /dev/null
+cmp "$TRACE_DIR/prof_t4.part" "$TRACE_DIR/noprof_t4.part"
 
 # Bench-gate smoke: the gate must pass comparing a committed baseline to
-# itself, and exit non-zero when an order-of-magnitude regression is
-# injected into every median.
-./target/release/mcgp bench-gate BENCH_coarsen.json BENCH_coarsen.json > /dev/null
+# itself — including the threads-win rule over the committed threaded
+# rows (the committed file must show t>1 holding serial speed) — and
+# exit non-zero when an order-of-magnitude regression is injected into
+# every median.
+./target/release/mcgp bench-gate BENCH_coarsen.json BENCH_coarsen.json \
+    --threads-win coarsen/hierarchy/mrng200k,partition/full/mrng200k > /dev/null
 sed 's/"median_s":/"median_s":9/' BENCH_coarsen.json > "$TRACE_DIR/regressed.json"
 if ./target/release/mcgp bench-gate BENCH_coarsen.json "$TRACE_DIR/regressed.json" \
     > /dev/null 2>&1; then
@@ -66,13 +74,16 @@ cargo bench --offline -p mcgp-bench --bench coarsen_smp -- \
 test -s "$TRACE_DIR/bench_coarsen_smoke.json"
 ./target/release/mcgp bench-check "$TRACE_DIR/bench_coarsen_smoke.json"
 
-# Threaded-coarsening smoke: the same (seed, threads) pair must reproduce
-# byte-identical partitions across repeated runs of the CLI.
-./target/release/mcgp partition gen:mrng:4000:3 8 --threads 4 \
-    --outfile "$TRACE_DIR/smp_a.part" > /dev/null
-./target/release/mcgp partition gen:mrng:4000:3 8 --threads 4 \
-    --outfile "$TRACE_DIR/smp_b.part" > /dev/null
-cmp "$TRACE_DIR/smp_a.part" "$TRACE_DIR/smp_b.part"
+# Threaded-pipeline smoke: the same (seed, threads) pair must reproduce
+# byte-identical partitions across repeated CLI runs, at every thread
+# count the parallel pipeline distinguishes.
+for T in 1 2 4 8; do
+    ./target/release/mcgp partition gen:mrng:4000:3 8 --threads "$T" \
+        --outfile "$TRACE_DIR/smp_a.part" > /dev/null
+    ./target/release/mcgp partition gen:mrng:4000:3 8 --threads "$T" \
+        --outfile "$TRACE_DIR/smp_b.part" > /dev/null
+    cmp "$TRACE_DIR/smp_a.part" "$TRACE_DIR/smp_b.part"
+done
 
 # Correctness smoke tests (see DESIGN.md, "Validation & differential
 # testing"). The `checked` profile is release + debug-assertions, so the

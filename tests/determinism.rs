@@ -52,6 +52,50 @@ fn parallel_kway_is_bit_identical_across_runs_and_thread_counts() {
 }
 
 #[test]
+fn threaded_full_pipeline_is_bit_identical_per_seed_and_thread_count() {
+    // The end-to-end shared-memory pipeline — striped coarsening, threaded
+    // recursive-bisection initial partitioning, parallel k-way refinement —
+    // must be a pure function of `(graph, seed, nthreads)`. Big enough that
+    // every parallel stage actually engages (the SMP refiner has a minimum
+    // level size), multi-constraint so the balance model is exercised.
+    let g = synthetic::type1(&mrng_like(6_000, 11), 3, 11);
+    for t in [1usize, 2, 4, 8] {
+        let cfg = PartitionConfig::default().with_seed(5).with_threads(t);
+        let a = partition_kway(&g, 8, &cfg);
+        let b = partition_kway(&g, 8, &cfg);
+        assert_eq!(
+            a.partition.assignment(),
+            b.partition.assignment(),
+            "t={t} rerun differs"
+        );
+        assert_eq!(a.quality.edge_cut, b.quality.edge_cut);
+        assert!(a.partition.all_parts_nonempty(), "t={t}");
+
+        let rb_a = partition_rb(&g, 6, &cfg);
+        let rb_b = partition_rb(&g, 6, &cfg);
+        assert_eq!(
+            rb_a.partition.assignment(),
+            rb_b.partition.assignment(),
+            "t={t} RB rerun differs"
+        );
+    }
+
+    // The physical worker cap must be invisible: `--threads` shapes the
+    // output, the machine's core count never does. (Same env-var pattern
+    // as the parallel-driver test above: set and removed within one test.)
+    let cfg = PartitionConfig::default().with_seed(5).with_threads(4);
+    let pooled = partition_kway(&g, 8, &cfg);
+    std::env::set_var("MCGP_THREADS", "1");
+    let inline = partition_kway(&g, 8, &cfg);
+    std::env::remove_var("MCGP_THREADS");
+    assert_eq!(
+        pooled.partition.assignment(),
+        inline.partition.assignment(),
+        "physical thread availability leaked into the t=4 result"
+    );
+}
+
+#[test]
 fn tracing_does_not_perturb_the_partition() {
     // The observability layer must be a pure observer: the partition vector
     // with tracing enabled is bit-identical to the one with tracing off,

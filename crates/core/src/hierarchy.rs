@@ -72,9 +72,75 @@ impl HierarchySnapshot {
         }
     }
 
+    /// Reassembles a snapshot from serialized parts (the disk-spill load
+    /// path). Validates the structural invariants a corrupt spill file
+    /// could violate — RNG boundary count and the cmap chain linking each
+    /// level to its finer input; anything off is a typed error, never a
+    /// panic.
+    pub fn from_parts(
+        levels: Vec<CoarseLevel>,
+        rng_at: Vec<Rng>,
+        rng_final: Rng,
+        finest_nvtxs: usize,
+        seed: u64,
+        nthreads: usize,
+    ) -> Result<Self, String> {
+        if rng_at.len() != levels.len() + 1 {
+            return Err(format!(
+                "rng boundary count {} does not match {} levels",
+                rng_at.len(),
+                levels.len()
+            ));
+        }
+        let mut prev_nvtxs = finest_nvtxs;
+        for (i, level) in levels.iter().enumerate() {
+            if level.cmap.len() != prev_nvtxs {
+                return Err(format!(
+                    "level {i}: cmap length {} does not match finer graph with {prev_nvtxs} vertices",
+                    level.cmap.len()
+                ));
+            }
+            let coarse_n = level.graph.nvtxs();
+            if let Some(&bad) = level.cmap.iter().find(|&&c| (c as usize) >= coarse_n) {
+                return Err(format!(
+                    "level {i}: cmap entry {bad} out of range for {coarse_n} coarse vertices"
+                ));
+            }
+            prev_nvtxs = coarse_n;
+        }
+        Ok(HierarchySnapshot {
+            levels,
+            rng_at,
+            rng_final,
+            finest_nvtxs,
+            seed,
+            nthreads,
+        })
+    }
+
     /// Number of recorded coarsening levels.
     pub fn nlevels(&self) -> usize {
         self.levels.len()
+    }
+
+    /// The recorded coarsening levels, finest to coarsest.
+    pub fn levels(&self) -> &[CoarseLevel] {
+        &self.levels
+    }
+
+    /// RNG state before matching each level (`len() == nlevels() + 1`).
+    pub fn rng_boundary_states(&self) -> &[Rng] {
+        &self.rng_at
+    }
+
+    /// RNG state at coarsening-loop exit.
+    pub fn rng_final(&self) -> &Rng {
+        &self.rng_final
+    }
+
+    /// Vertex count of the finest (input) graph.
+    pub fn finest_nvtxs(&self) -> usize {
+        self.finest_nvtxs
     }
 
     /// Seed this snapshot was coarsened with.
@@ -259,6 +325,67 @@ mod tests {
             let warm = snap.partition(&g, nparts, &cfg);
             assert_eq!(cold.partition.assignment(), warm.partition.assignment());
         }
+    }
+
+    #[test]
+    fn from_parts_round_trip_partitions_identically() {
+        let g = synthetic::type1(&mrng_like(3000, 5), 2, 9);
+        let cfg = PartitionConfig::default();
+        let snap = HierarchySnapshot::build(&g, &cfg);
+        let rebuilt = HierarchySnapshot::from_parts(
+            snap.levels().to_vec(),
+            snap.rng_boundary_states().to_vec(),
+            snap.rng_final().clone(),
+            snap.finest_nvtxs(),
+            snap.seed(),
+            snap.nthreads(),
+        )
+        .unwrap();
+        for nparts in [2usize, 8] {
+            let a = snap.partition(&g, nparts, &cfg);
+            let b = rebuilt.partition(&g, nparts, &cfg);
+            assert_eq!(a.partition.assignment(), b.partition.assignment());
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_structure() {
+        let g = mrng_like(2000, 3);
+        let cfg = PartitionConfig::default();
+        let snap = HierarchySnapshot::build(&g, &cfg);
+        assert!(snap.nlevels() > 0, "test needs a non-trivial hierarchy");
+        // Missing RNG boundary.
+        assert!(HierarchySnapshot::from_parts(
+            snap.levels().to_vec(),
+            snap.rng_boundary_states()[..snap.nlevels()].to_vec(),
+            snap.rng_final().clone(),
+            snap.finest_nvtxs(),
+            snap.seed(),
+            snap.nthreads(),
+        )
+        .is_err());
+        // Broken cmap chain (wrong finest vertex count).
+        assert!(HierarchySnapshot::from_parts(
+            snap.levels().to_vec(),
+            snap.rng_boundary_states().to_vec(),
+            snap.rng_final().clone(),
+            snap.finest_nvtxs() + 1,
+            snap.seed(),
+            snap.nthreads(),
+        )
+        .is_err());
+        // Out-of-range cmap entry.
+        let mut levels = snap.levels().to_vec();
+        levels[0].cmap[0] = u32::MAX;
+        assert!(HierarchySnapshot::from_parts(
+            levels,
+            snap.rng_boundary_states().to_vec(),
+            snap.rng_final().clone(),
+            snap.finest_nvtxs(),
+            snap.seed(),
+            snap.nthreads(),
+        )
+        .is_err());
     }
 
     #[test]

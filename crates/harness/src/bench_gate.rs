@@ -303,6 +303,122 @@ pub fn threads_win(
     })
 }
 
+/// One enrolment in the rps-win rule: within a single report, the `fast`
+/// row's throughput must be at least `min_ratio` times the `slow` row's.
+/// Like the threads-win rule, the comparison is same-run/same-host, so it
+/// survives committing new baseline numbers — a vs-baseline "2x faster"
+/// check would fail forever the moment the faster numbers become the
+/// baseline.
+#[derive(Clone, Debug)]
+pub struct RpsWinPair {
+    /// Bench name whose `rps` must win (e.g. `serve_warm_keepalive_rmat11`).
+    pub fast: String,
+    /// Bench name it must beat (e.g. `serve_warm_perconn_rmat11`).
+    pub slow: String,
+    /// Minimum `fast_rps / slow_rps` ratio.
+    pub min_ratio: f64,
+}
+
+/// One evaluated rps-win pair.
+#[derive(Clone, Debug)]
+pub struct RpsWinCheck {
+    pub fast: String,
+    pub slow: String,
+    pub fast_rps: f64,
+    pub slow_rps: f64,
+    /// `fast_rps / slow_rps`.
+    pub ratio: f64,
+    pub min_ratio: f64,
+    pub regressed: bool,
+}
+
+/// Result of [`rps_win`] over one report.
+#[derive(Clone, Debug)]
+pub struct RpsWinReport {
+    pub checks: Vec<RpsWinCheck>,
+}
+
+impl RpsWinReport {
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| !c.regressed)
+    }
+
+    pub fn regressions(&self) -> impl Iterator<Item = &RpsWinCheck> {
+        self.checks.iter().filter(|c| c.regressed)
+    }
+}
+
+impl ToJson for RpsWinReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "verdict",
+                Json::Str(if self.passed() { "pass" } else { "fail" }.into()),
+            ),
+            ("compared", Json::UInt(self.checks.len() as u64)),
+            (
+                "regressed",
+                Json::UInt(self.regressions().count() as u64),
+            ),
+            (
+                "checks",
+                Json::Arr(
+                    self.checks
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("fast", Json::Str(c.fast.clone())),
+                                ("slow", Json::Str(c.slow.clone())),
+                                ("fast_rps", Json::Float(c.fast_rps)),
+                                ("slow_rps", Json::Float(c.slow_rps)),
+                                ("ratio", Json::Float(c.ratio)),
+                                ("min_ratio", Json::Float(c.min_ratio)),
+                                ("regressed", Json::Bool(c.regressed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Runs the rps-win rule over one parsed (fresh) report. A named row
+/// that is missing or carries no `rps` field is a configuration error,
+/// not a silent skip — the gate must never pass vacuously.
+pub fn rps_win(
+    report: &BTreeMap<String, BenchRow>,
+    pairs: &[RpsWinPair],
+) -> Result<RpsWinReport, String> {
+    if pairs.is_empty() {
+        return Err("rps-win: no pairs configured — nothing gated".to_string());
+    }
+    let mut checks = Vec::new();
+    for pair in pairs {
+        assert!(pair.min_ratio > 0.0, "min_ratio must be positive");
+        let fetch = |name: &str| -> Result<f64, String> {
+            report
+                .get(name)
+                .ok_or_else(|| format!("rps-win: report has no bench `{name}`"))?
+                .rps
+                .ok_or_else(|| format!("rps-win: bench `{name}` carries no rps field"))
+        };
+        let fast_rps = fetch(&pair.fast)?;
+        let slow_rps = fetch(&pair.slow)?;
+        let ratio = fast_rps / slow_rps.max(f64::MIN_POSITIVE);
+        checks.push(RpsWinCheck {
+            fast: pair.fast.clone(),
+            slow: pair.slow.clone(),
+            fast_rps,
+            slow_rps,
+            ratio,
+            min_ratio: pair.min_ratio,
+            regressed: ratio < pair.min_ratio,
+        });
+    }
+    Ok(RpsWinReport { checks })
+}
+
 /// Parses a bench JSONL report into `name → row`, enforcing the same
 /// schema `mcgp bench-check` validates (so the gate never compares
 /// garbage). Duplicate bench names are an error: the gate would silently
@@ -567,6 +683,51 @@ mod tests {
             threads_win(&rows, &tw_config(&["full/"])).unwrap().checks.len(),
             1
         );
+    }
+
+    #[test]
+    fn rps_win_holds_the_ratio_within_one_report() {
+        let rows = parse(&[
+            ("ka", 0.001, Some(500.0)),
+            ("pc", 0.005, Some(200.0)),
+        ]);
+        let pair = |min_ratio| {
+            vec![RpsWinPair {
+                fast: "ka".into(),
+                slow: "pc".into(),
+                min_ratio,
+            }]
+        };
+        // 2.5x observed: a 2.0x requirement passes, 3.0x fails.
+        let report = rps_win(&rows, &pair(2.0)).unwrap();
+        assert!(report.passed());
+        assert!((report.checks[0].ratio - 2.5).abs() < 1e-12);
+        assert_eq!(
+            report.to_json().get("verdict").unwrap().as_str(),
+            Some("pass")
+        );
+        let report = rps_win(&rows, &pair(3.0)).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.regressions().count(), 1);
+    }
+
+    #[test]
+    fn rps_win_rejects_missing_rows_and_vacuous_configs() {
+        let rows = parse(&[("ka", 0.001, Some(500.0)), ("norps", 0.1, None)]);
+        let pair = |fast: &str, slow: &str| {
+            vec![RpsWinPair {
+                fast: fast.into(),
+                slow: slow.into(),
+                min_ratio: 2.0,
+            }]
+        };
+        assert!(rps_win(&rows, &[]).unwrap_err().contains("no pairs"));
+        assert!(rps_win(&rows, &pair("ka", "gone"))
+            .unwrap_err()
+            .contains("no bench `gone`"));
+        assert!(rps_win(&rows, &pair("ka", "norps"))
+            .unwrap_err()
+            .contains("no rps field"));
     }
 
     #[test]

@@ -14,13 +14,16 @@
 //! mcgp bench-gate <baseline-jsonl> <fresh-jsonl> [--tolerance <x>]
 //!                 [--noise-floor-ms <ms>] [--threads-win <prefix>[,..]]
 //!                 [--threads-win-tolerance <x>]
+//!                 [--rps-win <fast>/<slow>:<min-ratio>[,..]]
 //! mcgp serve [--addr <host:port>] [--workers <n>] [--cache-mb <mb>]
-//!            [--timeout-secs <s>] [--port-file <f>] [--trace <f>]
+//!            [--cache-dir <dir>] [--threads <n>] [--timeout-secs <s>]
+//!            [--idle-millis <ms>] [--port-file <f>] [--trace <f>]
 //! mcgp serve-request --addr <host:port> (--get <path> | <file.graph|gen:...> <k>)
-//!                    [--seed <s>] [--tol <t>] [--threads <t>] [--json] [--full]
+//!                    [--seed <s>] [--tol <t>] [--threads <t>] [--repeat <n>]
+//!                    [--json] [--full]
 //! mcgp bench serve [--nvtxs <n>] [--requests <n>] [--clients <n>]
-//!                  [--cold-every <n>] [--workers <n>]
-//!                  [--profile <f.folded>] [--profile-hz <n>]
+//!                  [--cold-every <n>] [--workers <n>] [--small-scale <n>]
+//!                  [--small-requests <n>] [--profile <f.folded>] [--profile-hz <n>]
 //!
 //! options:
 //!   --scale <N>    generate graphs at 1/N of paper size   [default 16]
@@ -628,10 +631,12 @@ fn run_bench_check(opts: &Opts) {
 fn run_bench_gate(opts: &Opts) {
     let usage = "usage: mcgp bench-gate <baseline-jsonl> <fresh-jsonl> \
                  [--tolerance <x>] [--noise-floor-ms <ms>] \
-                 [--threads-win <prefix>[,<prefix>..]] [--threads-win-tolerance <x>]";
+                 [--threads-win <prefix>[,<prefix>..]] [--threads-win-tolerance <x>] \
+                 [--rps-win <fast>/<slow>:<min-ratio>[,<pair>..]]";
     let mut files: Vec<String> = Vec::new();
     let mut config = mcgp_harness::bench_gate::GateConfig::default();
     let mut tw_config = mcgp_harness::bench_gate::ThreadsWinConfig::default();
+    let mut rw_pairs: Vec<mcgp_harness::bench_gate::RpsWinPair> = Vec::new();
     let mut it = opts.rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -648,6 +653,12 @@ fn run_bench_gate(opts: &Opts) {
             }
             "--threads-win-tolerance" => {
                 tw_config.tolerance = parse_value(flag_value(&mut it, a, usage), a);
+            }
+            "--rps-win" => {
+                let list = flag_value(&mut it, a, usage);
+                for spec in list.split(',').filter(|p| !p.is_empty()) {
+                    rw_pairs.push(parse_rps_win_pair(spec).unwrap_or_else(|e| die(e)));
+                }
             }
             other if files.len() < 2 => files.push(other.to_string()),
             other => die(format!("unexpected argument `{other}`\n{usage}")),
@@ -682,7 +693,16 @@ fn run_bench_gate(opts: &Opts) {
         mcgp_harness::bench_gate::threads_win(&fresh, &tw_config)
             .unwrap_or_else(|e| die(format!("bench-gate: {e}")))
     });
-    let passed = report.passed() && tw_report.as_ref().is_none_or(|t| t.passed());
+    // Rps-win rule: also within the fresh run only — each `fast/slow:ratio`
+    // pair must hold its throughput ratio in the same report, so committing
+    // new baselines can never rot the comparison.
+    let rw_report = (!rw_pairs.is_empty()).then(|| {
+        mcgp_harness::bench_gate::rps_win(&fresh, &rw_pairs)
+            .unwrap_or_else(|e| die(format!("bench-gate: {e}")))
+    });
+    let passed = report.passed()
+        && tw_report.as_ref().is_none_or(|t| t.passed())
+        && rw_report.as_ref().is_none_or(|r| r.passed());
     let mut doc = match mcgp_runtime::json::ToJson::to_json(&report) {
         mcgp_runtime::json::Json::Obj(mut pairs) => {
             // The top-level verdict covers both sections.
@@ -697,6 +717,12 @@ fn run_bench_gate(opts: &Opts) {
         doc.push((
             "threads_win".to_string(),
             mcgp_runtime::json::ToJson::to_json(tw),
+        ));
+    }
+    if let Some(rw) = &rw_report {
+        doc.push((
+            "rps_win".to_string(),
+            mcgp_runtime::json::ToJson::to_json(rw),
         ));
     }
     println!("{}", mcgp_runtime::json::Json::Obj(doc));
@@ -749,6 +775,24 @@ fn run_bench_gate(opts: &Opts) {
             );
         }
     }
+    if let Some(rw) = &rw_report {
+        for c in &rw.checks {
+            let tag = if c.regressed { "LOST THE RATIO" } else { "ok" };
+            eprintln!(
+                "bench-gate: rps-win {} {:>9.2} rps vs {} {:>9.2} rps  x{:.2} (need {:.2}x)  {tag}",
+                c.fast, c.fast_rps, c.slow, c.slow_rps, c.ratio, c.min_ratio
+            );
+        }
+        if rw.passed() {
+            eprintln!("bench-gate: rps-win pass — {} pair(s) held their ratio", rw.checks.len());
+        } else {
+            eprintln!(
+                "bench-gate: rps-win FAIL — {} of {} pair(s) below their minimum ratio",
+                rw.regressions().count(),
+                rw.checks.len()
+            );
+        }
+    }
     if report.passed() {
         eprintln!(
             "bench-gate: pass — {} bench(es) within {:.1}x of {}",
@@ -767,6 +811,25 @@ fn run_bench_gate(opts: &Opts) {
     if !passed {
         std::process::exit(1);
     }
+}
+
+/// Parse one `--rps-win` spec: `<fast>/<slow>:<min-ratio>`.
+fn parse_rps_win_pair(spec: &str) -> Result<mcgp_harness::bench_gate::RpsWinPair, String> {
+    let bad = || format!("--rps-win: expected <fast>/<slow>:<min-ratio>, got `{spec}`");
+    let (names, ratio) = spec.rsplit_once(':').ok_or_else(bad)?;
+    let (fast, slow) = names.split_once('/').ok_or_else(bad)?;
+    if fast.is_empty() || slow.is_empty() {
+        return Err(bad());
+    }
+    let min_ratio: f64 = ratio.parse().map_err(|_| bad())?;
+    if !min_ratio.is_finite() || min_ratio < 1.0 {
+        return Err(format!("--rps-win: minimum ratio must be a finite value >= 1, got `{ratio}`"));
+    }
+    Ok(mcgp_harness::bench_gate::RpsWinPair {
+        fast: fast.to_string(),
+        slow: slow.to_string(),
+        min_ratio,
+    })
 }
 
 fn run_adaptive(scale: Scale, out: Option<&std::path::Path>) {
@@ -939,9 +1002,15 @@ fn run_verify(opts: &Opts) {
 /// the SIGINT/SIGTERM latch, and serves until a graceful shutdown.
 fn run_serve(opts: &Opts) {
     let usage = "usage: mcgp serve [--addr <host:port>] [--workers <n>] [--cache-mb <mb>] \
-                 [--timeout-secs <s>] [--port-file <f>] [--trace <f>] \
-                 [--trace-format jsonl|chrome]";
+                 [--cache-dir <dir>] [--threads <n>] [--timeout-secs <s>] \
+                 [--idle-millis <ms>] [--port-file <f>] [--trace <f>] \
+                 [--trace-format jsonl|chrome]   (MCGP_THREADS sets the --threads default)";
     let mut config = mcgp_serve::ServeConfig::default();
+    // Requests that do not pin `threads=` inherit the daemon default:
+    // --threads wins, then the MCGP_THREADS environment, then serial.
+    if let Some(n) = std::env::var("MCGP_THREADS").ok().and_then(|v| v.trim().parse().ok()) {
+        config.default_threads = n;
+    }
     let mut port_file: Option<String> = None;
     let mut trace_file: Option<String> = None;
     let mut trace_format = mcgp_runtime::trace::TraceFormat::Jsonl;
@@ -954,9 +1023,17 @@ fn run_serve(opts: &Opts) {
                 let mb: usize = parse_value(flag_value(&mut it, a, usage), a);
                 config.cache_bytes = mb * 1024 * 1024;
             }
+            "--cache-dir" => {
+                config.cache_dir = Some(std::path::PathBuf::from(flag_value(&mut it, a, usage)));
+            }
+            "--threads" => config.default_threads = parse_value(flag_value(&mut it, a, usage), a),
             "--timeout-secs" => {
                 let secs: u64 = parse_value(flag_value(&mut it, a, usage), a);
                 config.io_timeout = std::time::Duration::from_secs(secs.max(1));
+            }
+            "--idle-millis" => {
+                let ms: u64 = parse_value(flag_value(&mut it, a, usage), a);
+                config.idle_timeout = std::time::Duration::from_millis(ms.max(1));
             }
             "--port-file" => port_file = Some(flag_value(&mut it, a, usage).to_string()),
             "--trace" => trace_file = Some(flag_value(&mut it, a, usage).to_string()),
@@ -967,6 +1044,9 @@ fn run_serve(opts: &Opts) {
             }
             other => die(format!("unexpected argument `{other}`\n{usage}")),
         }
+    }
+    if config.default_threads == 0 {
+        config.default_threads = 1;
     }
     if trace_file.is_some() {
         mcgp_runtime::trace::set_enabled(true);
@@ -1011,14 +1091,15 @@ fn run_serve(opts: &Opts) {
 /// Exits 0 on a 2xx status, 1 otherwise.
 fn run_serve_request(opts: &Opts) {
     let usage = "usage: mcgp serve-request --addr <host:port> (--get <path> | <file.graph|gen:...> <k>) \
-                 [--seed <s>] [--tol <t>] [--threads <t>] [--json] [--full]";
+                 [--seed <s>] [--tol <t>] [--threads <t>] [--repeat <n>] [--json] [--full]";
     let mut addr: Option<String> = None;
     let mut get_path: Option<String> = None;
     let mut file: Option<String> = None;
     let mut k: Option<usize> = None;
     let mut seed = 4242u64;
     let mut tol = 0.05f64;
-    let mut threads = 1usize;
+    let mut threads: Option<usize> = None;
+    let mut repeat = 1usize;
     let mut as_json = false;
     let mut full = false;
     let mut it = opts.rest.iter();
@@ -1028,7 +1109,8 @@ fn run_serve_request(opts: &Opts) {
             "--get" => get_path = Some(flag_value(&mut it, a, usage).to_string()),
             "--seed" => seed = parse_value(flag_value(&mut it, a, usage), a),
             "--tol" => tol = parse_value(flag_value(&mut it, a, usage), a),
-            "--threads" => threads = parse_value(flag_value(&mut it, a, usage), a),
+            "--threads" => threads = Some(parse_value(flag_value(&mut it, a, usage), a)),
+            "--repeat" => repeat = parse_value(flag_value(&mut it, a, usage), a),
             "--json" => as_json = true,
             "--full" => full = true,
             other if file.is_none() => file = Some(other.to_string()),
@@ -1037,14 +1119,21 @@ fn run_serve_request(opts: &Opts) {
         }
     }
     let Some(addr) = addr else { die(usage) };
+    if repeat == 0 {
+        die("--repeat must be >= 1");
+    }
     let timeout = Some(std::time::Duration::from_secs(600));
-    let resp = if let Some(path) = get_path {
-        mcgp_runtime::net::http_request(&addr, "GET", &path, &[], b"", timeout)
+    let (method, target, headers, body): (&str, String, Vec<(String, String)>, Vec<u8>);
+    if let Some(path) = get_path {
+        (method, target, headers, body) = ("GET", path, Vec::new(), Vec::new());
     } else {
         let (Some(file), Some(k)) = (file, k) else { die(usage) };
         let graph = load_graph(&file, seed);
-        let target = format!("/partition?k={k}&tol={tol}&seed={seed}&threads={threads}");
-        let (body, headers): (Vec<u8>, &[(&str, &str)]) = if as_json {
+        // Leave `threads=` off the wire unless pinned, so the daemon's
+        // --threads / MCGP_THREADS default applies.
+        let threads_q = threads.map(|t| format!("&threads={t}")).unwrap_or_default();
+        let url = format!("/partition?k={k}&tol={tol}&seed={seed}{threads_q}");
+        let (post_body, post_headers): (Vec<u8>, Vec<(String, String)>) = if as_json {
             let doc = mcgp_runtime::json::Json::obj([
                 (
                     "xadj",
@@ -1074,21 +1163,55 @@ fn run_serve_request(opts: &Opts) {
             ])
             .to_string()
             .into_bytes();
-            (doc, &[("Content-Type", "application/json")])
+            (doc, vec![("Content-Type".to_string(), "application/json".to_string())])
         } else {
             let mut body = Vec::new();
             mcgp_graph::io::write_metis(&graph, &mut body).unwrap_or_else(|e| {
                 eprintln!("failed to serialise {file}: {e}");
                 std::process::exit(1);
             });
-            (body, &[])
+            (body, Vec::new())
         };
-        mcgp_runtime::net::http_request(&addr, "POST", &target, headers, &body, timeout)
-    };
-    let resp = resp.unwrap_or_else(|e| {
+        (method, target, headers, body) = ("POST", url, post_headers, post_body);
+    }
+    let header_refs: Vec<(&str, &str)> =
+        headers.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
+    fn fail(addr: &str, e: impl std::fmt::Display) -> ! {
         eprintln!("request to {addr} failed: {e}");
         std::process::exit(1);
-    });
+    }
+    // With --repeat, all requests share one keep-alive connection and every
+    // response must be byte-identical to the first — the smoke-test teeth
+    // behind the determinism-across-reuse contract.
+    let resp = if repeat == 1 {
+        mcgp_runtime::net::http_request(&addr, method, &target, &header_refs, &body, timeout)
+            .unwrap_or_else(|e| fail(&addr, e))
+    } else {
+        let mut net = mcgp_runtime::net::NetClient::new(&addr, timeout);
+        let first = net
+            .request_on(method, &target, &header_refs, &body)
+            .unwrap_or_else(|e| fail(&addr, e));
+        for i in 1..repeat {
+            let next = net
+                .request_on(method, &target, &header_refs, &body)
+                .unwrap_or_else(|e| fail(&addr, e));
+            if next.status != first.status || next.body != first.body {
+                eprintln!(
+                    "repeat {i}: response diverged (status {} vs {}, {} vs {} byte(s))",
+                    next.status,
+                    first.status,
+                    next.body.len(),
+                    first.body.len()
+                );
+                std::process::exit(1);
+            }
+        }
+        eprintln!(
+            "({repeat} identical response(s) over {} connection(s))",
+            net.connects()
+        );
+        first
+    };
     println!("status: {}", resp.status);
     for (name, value) in &resp.headers {
         println!("{name}: {value}");
@@ -1114,7 +1237,8 @@ fn run_serve_request(opts: &Opts) {
 /// stdout (redirect into `BENCH_serve.json`), progress on stderr.
 fn run_bench(opts: &Opts) {
     let usage = "usage: mcgp bench serve [--nvtxs <n>] [--requests <n>] [--clients <n>] \
-                 [--cold-every <n>] [--workers <n>] [--profile <f.folded>] [--profile-hz <n>]";
+                 [--cold-every <n>] [--workers <n>] [--small-scale <n>] [--small-requests <n>] \
+                 [--profile <f.folded>] [--profile-hz <n>]";
     let mut cfg = mcgp_serve::bench::BenchServeConfig::default();
     let mut which: Option<String> = None;
     let mut profile_file: Option<String> = None;
@@ -1127,6 +1251,8 @@ fn run_bench(opts: &Opts) {
             "--clients" => cfg.clients = parse_value(flag_value(&mut it, a, usage), a),
             "--cold-every" => cfg.cold_every = parse_value(flag_value(&mut it, a, usage), a),
             "--workers" => cfg.workers = parse_value(flag_value(&mut it, a, usage), a),
+            "--small-scale" => cfg.small_scale = parse_value(flag_value(&mut it, a, usage), a),
+            "--small-requests" => cfg.small_requests = parse_value(flag_value(&mut it, a, usage), a),
             "--profile" => profile_file = Some(flag_value(&mut it, a, usage).to_string()),
             "--profile-hz" => profile_hz = parse_value(flag_value(&mut it, a, usage), a),
             other if which.is_none() => which = Some(other.to_string()),

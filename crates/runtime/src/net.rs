@@ -4,26 +4,34 @@
 //! hyper/axum/tokio, so `mcgp serve` speaks a deliberately small slice of
 //! HTTP/1.1 implemented here directly over [`std::net`]:
 //!
-//! * **Requests** are parsed by [`read_request`]: request line, headers,
-//!   and an optional `Content-Length` body, under hard limits
-//!   ([`Limits`]) so a malicious peer can neither balloon memory nor hold
-//!   a worker forever. The timeout is a *whole-request* deadline, not a
-//!   per-read one — a slowloris peer dripping one byte per read would
-//!   otherwise reset a per-read timer thousands of times — and expiry
-//!   surfaces as [`NetError::Timeout`].
-//! * **Responses** either carry a `Content-Length` ([`write_response`])
-//!   or stream until close ([`ResponseStream`]) — every response says
-//!   `Connection: close`, which keeps the framing trivial and makes the
-//!   *byte content* of a streamed body independent of chunk timing (the
-//!   serve determinism contract is over body bytes).
-//! * **Clients** ([`http_request`]) issue one request and read the full
-//!   response; the load generator and CLI client are built on it.
+//! * **Connections** are persistent by default ([`Conn`]): HTTP/1.1
+//!   keep-alive semantics, honoring `Connection: close` from either side.
+//!   A [`Conn`] owns the receive buffer, so bytes of a pipelined follow-up
+//!   request that arrive together with the current one survive between
+//!   [`Conn::read_request`] calls instead of being dropped with a
+//!   per-request reader.
+//! * **Requests** are parsed under hard limits ([`Limits`]) so a malicious
+//!   peer can neither balloon memory nor hold a worker forever. The
+//!   timeout is a *whole-request* deadline, not a per-read one — a
+//!   slowloris peer dripping one byte per read would otherwise reset a
+//!   per-read timer thousands of times — and expiry surfaces as
+//!   [`NetError::Timeout`].
+//! * **Responses** either carry a `Content-Length` ([`write_response`]) or
+//!   stream ([`ResponseStream`]). A streamed response uses chunked
+//!   transfer coding when the connection stays open and close-delimited
+//!   framing otherwise; in both cases the *payload bytes* are identical
+//!   (the serve determinism contract is over body bytes, and the client
+//!   de-frames before comparing).
+//! * **Clients** issue one-shot exchanges ([`http_request`]) or hold a
+//!   persistent connection ([`NetClient`]) so N requests cost one TCP
+//!   handshake, not N. The client de-frames `Content-Length`, chunked,
+//!   and close-delimited bodies identically.
 //!
-//! Unsupported on purpose: keep-alive, chunked ingest, HTTP/2, TLS. A
-//! request using them gets a clean typed rejection, not a hang.
+//! Unsupported on purpose: chunked ingest, HTTP/2, TLS. A request using
+//! them gets a clean typed rejection, not a hang.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// Hard limits applied while reading a request.
@@ -99,6 +107,8 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// True when the request line said `HTTP/1.1` (keep-alive default).
+    pub http11: bool,
 }
 
 impl Request {
@@ -116,6 +126,29 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// HTTP/1.1 keep-alive semantics: persistent unless the peer sent
+    /// `Connection: close`; HTTP/1.0 is persistent only on an explicit
+    /// `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        let mut close = false;
+        let mut keep = false;
+        if let Some(v) = self.header("connection") {
+            for token in v.split(',') {
+                let t = token.trim();
+                if t.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if t.eq_ignore_ascii_case("keep-alive") {
+                    keep = true;
+                }
+            }
+        }
+        if close {
+            false
+        } else {
+            keep || self.http11
+        }
     }
 }
 
@@ -186,6 +219,125 @@ fn arm_deadline(stream: &TcpStream, deadline: Option<Instant>) -> Result<(), Net
     Ok(())
 }
 
+/// A growable receive buffer that persists across messages on one socket.
+/// Bytes read past the end of one message stay buffered for the next —
+/// the property that makes pipelining safe (a per-request `BufReader`
+/// would drop them on the floor).
+#[derive(Debug, Default)]
+struct RecvBuf {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl RecvBuf {
+    fn unread(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn has_unread(&self) -> bool {
+        self.pos < self.data.len()
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+        debug_assert!(self.pos <= self.data.len());
+        if self.pos == self.data.len() {
+            self.data.clear();
+            self.pos = 0;
+        }
+    }
+
+    /// Reads more bytes from the socket, compacting first so the buffer
+    /// never grows with connection lifetime. Returns new-byte count
+    /// (0 = EOF).
+    fn fill(&mut self, mut stream: &TcpStream) -> io::Result<usize> {
+        if self.pos > 0 {
+            self.data.drain(..self.pos);
+            self.pos = 0;
+        }
+        let old = self.data.len();
+        self.data.resize(old + 8192, 0);
+        match stream.read(&mut self.data[old..]) {
+            Ok(n) => {
+                self.data.truncate(old + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.data.truncate(old);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// One server-side connection: the socket plus the receive buffer that
+/// carries pipelined bytes between requests. The serve accept loop wraps
+/// every accepted socket in a [`Conn`] and calls
+/// [`Conn::read_request`] in a loop until the peer closes or keep-alive
+/// ends.
+pub struct Conn {
+    stream: TcpStream,
+    rb: RecvBuf,
+}
+
+impl Conn {
+    /// Wraps an accepted socket.
+    pub fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rb: RecvBuf::default(),
+        }
+    }
+
+    /// The underlying socket (for peer address, timeouts, shutdown).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// True when bytes of a pipelined follow-up request are already
+    /// buffered, so the next [`Conn::read_request`] starts without
+    /// touching the socket.
+    pub fn has_buffered_input(&self) -> bool {
+        self.rb.has_unread()
+    }
+
+    /// Reads the next request on this connection. See [`read_request`]
+    /// for limit and deadline semantics; [`NetError::Closed`] before any
+    /// byte of a follow-up request is the clean end of a keep-alive
+    /// conversation.
+    pub fn read_request(
+        &mut self,
+        limits: &Limits,
+        timeout: Option<Duration>,
+    ) -> Result<Request, NetError> {
+        read_request_buffered(&self.stream, &mut self.rb, limits, timeout)
+    }
+
+    /// Writes a complete `Content-Length`-framed response.
+    pub fn write_response(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        extra: &[(String, String)],
+        body: &[u8],
+        keep_alive: bool,
+    ) -> io::Result<()> {
+        write_response(&mut self.stream, status, content_type, extra, body, keep_alive)
+    }
+
+    /// Starts a streamed response (chunked under keep-alive,
+    /// close-delimited otherwise).
+    pub fn begin_stream(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        extra: &[(String, String)],
+        keep_alive: bool,
+    ) -> io::Result<ResponseStream<'_>> {
+        ResponseStream::begin(&mut self.stream, status, content_type, extra, keep_alive)
+    }
+}
+
 /// Reads one HTTP/1.1 request from `stream` under `limits`. `timeout`, when
 /// given, bounds the *total* time spent reading the request (head and body
 /// together); a peer that keeps the socket warm with one byte per read
@@ -193,41 +345,52 @@ fn arm_deadline(stream: &TcpStream, deadline: Option<Instant>) -> Result<(), Net
 ///
 /// Returns [`NetError::Closed`] if the peer disconnected before sending a
 /// full request head, which the accept loop treats as a non-event.
+///
+/// This free function is single-shot: bytes beyond the first request are
+/// discarded with its internal buffer. Keep-alive servers must hold a
+/// [`Conn`] instead.
 pub fn read_request(
     stream: &mut TcpStream,
     limits: &Limits,
     timeout: Option<Duration>,
 ) -> Result<Request, NetError> {
+    let mut rb = RecvBuf::default();
+    read_request_buffered(stream, &mut rb, limits, timeout)
+}
+
+fn read_request_buffered(
+    stream: &TcpStream,
+    rb: &mut RecvBuf,
+    limits: &Limits,
+    timeout: Option<Duration>,
+) -> Result<Request, NetError> {
     let deadline = timeout.map(|t| Instant::now() + t);
-    let mut reader = BufReader::new(stream);
-    // Head: everything through the blank line, capped.
-    let mut head: Vec<u8> = Vec::with_capacity(512);
-    loop {
-        arm_deadline(reader.get_ref(), deadline)?;
-        let buf = reader.fill_buf()?;
-        if buf.is_empty() {
-            return Err(NetError::Closed);
+    // Head: everything through the blank line, capped. The scan restarts
+    // from the buffer head each fill; the head cap keeps that quadratic
+    // corner at ~16 KiB.
+    let head_end = loop {
+        if let Some(pos) = find_subslice(rb.unread(), b"\r\n\r\n") {
+            break pos + 4;
         }
-        let take = buf.len().min(limits.max_head_bytes + 1 - head.len().min(limits.max_head_bytes));
-        // Find end-of-head within what we have so far + this chunk.
-        let start = head.len();
-        head.extend_from_slice(&buf[..take]);
-        let scan_from = start.saturating_sub(3);
-        if let Some(pos) = find_subslice(&head[scan_from..], b"\r\n\r\n") {
-            let head_end = scan_from + pos + 4;
-            let consumed = head_end - start;
-            reader.consume(consumed);
-            head.truncate(head_end);
-            break;
-        }
-        reader.consume(take);
-        if head.len() > limits.max_head_bytes {
+        if rb.unread().len() > limits.max_head_bytes {
             return Err(NetError::TooLarge {
                 what: "request head",
                 limit: limits.max_head_bytes,
             });
         }
+        arm_deadline(stream, deadline)?;
+        if rb.fill(stream)? == 0 {
+            return Err(NetError::Closed);
+        }
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(NetError::TooLarge {
+            what: "request head",
+            limit: limits.max_head_bytes,
+        });
     }
+    let head = rb.unread()[..head_end].to_vec();
+    rb.consume(head_end);
 
     let head_text = std::str::from_utf8(&head)
         .map_err(|_| NetError::BadRequest("request head is not valid UTF-8".into()))?;
@@ -283,11 +446,17 @@ pub fn read_request(
     let mut body = vec![0u8; content_length];
     let mut filled = 0;
     while filled < content_length {
-        arm_deadline(reader.get_ref(), deadline)?;
-        match reader.read(&mut body[filled..]) {
-            Ok(0) => return Err(NetError::Closed),
-            Ok(n) => filled += n,
-            Err(e) => return Err(e.into()),
+        let avail = rb.unread();
+        if !avail.is_empty() {
+            let take = avail.len().min(content_length - filled);
+            body[filled..filled + take].copy_from_slice(&avail[..take]);
+            rb.consume(take);
+            filled += take;
+            continue;
+        }
+        arm_deadline(stream, deadline)?;
+        if rb.fill(stream)? == 0 {
+            return Err(NetError::Closed);
         }
     }
 
@@ -298,13 +467,12 @@ pub fn read_request(
         query,
         headers,
         body,
+        http11: version == "HTTP/1.1",
     })
 }
 
 fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 /// Reason phrase for the status codes the server emits.
@@ -322,6 +490,14 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
+fn connection_header(keep_alive: bool) -> &'static str {
+    if keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    }
+}
+
 /// Writes a complete response with `Content-Length` framing. `extra`
 /// headers are emitted verbatim after the standard set.
 pub fn write_response(
@@ -330,10 +506,12 @@ pub fn write_response(
     content_type: &str,
     extra: &[(String, String)],
     body: &[u8],
+    keep_alive: bool,
 ) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nConnection: close\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {status} {}\r\nConnection: {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason_phrase(status),
+        connection_header(keep_alive),
         body.len()
     );
     for (k, v) in extra {
@@ -348,11 +526,15 @@ pub fn write_response(
     stream.flush()
 }
 
-/// A response streamed as raw bytes until close (`Connection: close`, no
-/// `Content-Length`) — how partition responses stream their JSONL lines
-/// without buffering the whole body.
+/// A response streamed line by line without buffering the whole body —
+/// how partition responses stream their JSONL. Under keep-alive the body
+/// uses chunked transfer coding (one chunk per line, `0\r\n\r\n`
+/// terminator); on a closing connection it is close-delimited raw bytes.
+/// Either way the de-framed payload is byte-identical, which keeps the
+/// serve determinism contract independent of connection reuse.
 pub struct ResponseStream<'a> {
     stream: &'a mut TcpStream,
+    chunked: bool,
 }
 
 impl<'a> ResponseStream<'a> {
@@ -363,11 +545,17 @@ impl<'a> ResponseStream<'a> {
         status: u16,
         content_type: &str,
         extra: &[(String, String)],
+        keep_alive: bool,
     ) -> io::Result<ResponseStream<'a>> {
         let mut head = format!(
-            "HTTP/1.1 {status} {}\r\nConnection: close\r\nContent-Type: {content_type}\r\n",
+            "HTTP/1.1 {status} {}\r\nConnection: {}\r\n",
             reason_phrase(status),
+            connection_header(keep_alive),
         );
+        if keep_alive {
+            head.push_str("Transfer-Encoding: chunked\r\n");
+        }
+        head.push_str(&format!("Content-Type: {content_type}\r\n"));
         for (k, v) in extra {
             head.push_str(k);
             head.push_str(": ");
@@ -376,18 +564,30 @@ impl<'a> ResponseStream<'a> {
         }
         head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
-        Ok(ResponseStream { stream })
+        Ok(ResponseStream {
+            stream,
+            chunked: keep_alive,
+        })
     }
 
     /// Streams one body line (the newline is appended here, so callers
     /// hand over exactly one JSONL record at a time).
     pub fn write_line(&mut self, line: &str) -> io::Result<()> {
-        self.stream.write_all(line.as_bytes())?;
-        self.stream.write_all(b"\n")
+        if self.chunked {
+            write!(self.stream, "{:x}\r\n", line.len() + 1)?;
+            self.stream.write_all(line.as_bytes())?;
+            self.stream.write_all(b"\n\r\n")
+        } else {
+            self.stream.write_all(line.as_bytes())?;
+            self.stream.write_all(b"\n")
+        }
     }
 
-    /// Flushes the stream (the body ends when the connection closes).
+    /// Terminates the body (final chunk under keep-alive) and flushes.
     pub fn finish(self) -> io::Result<()> {
+        if self.chunked {
+            self.stream.write_all(b"0\r\n\r\n")?;
+        }
         self.stream.flush()
     }
 }
@@ -399,7 +599,7 @@ pub struct ClientResponse {
     pub status: u16,
     /// Response headers, names lower-cased.
     pub headers: Vec<(String, String)>,
-    /// Full response body.
+    /// Full response body, de-framed (chunk headers stripped).
     pub body: Vec<u8>,
 }
 
@@ -418,28 +618,177 @@ impl ClientResponse {
     }
 }
 
-/// Issues one HTTP/1.1 request (`Connection: close`) and reads the full
-/// response. `timeout` bounds connect and each socket read/write.
-pub fn http_request(
+const MAX_RESPONSE_HEAD: usize = 64 * 1024;
+
+fn invalid_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn resolve(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))
+}
+
+/// Reads bytes through the end-of-head marker; returns head bytes
+/// (without the blank line).
+fn read_response_head(stream: &TcpStream, rb: &mut RecvBuf) -> io::Result<Vec<u8>> {
+    loop {
+        if let Some(pos) = find_subslice(rb.unread(), b"\r\n\r\n") {
+            let head = rb.unread()[..pos].to_vec();
+            rb.consume(pos + 4);
+            return Ok(head);
+        }
+        if rb.unread().len() > MAX_RESPONSE_HEAD {
+            return Err(invalid_data("response head too large"));
+        }
+        if rb.fill(stream)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before a complete response head",
+            ));
+        }
+    }
+}
+
+/// Appends exactly `n` body bytes to `out`.
+fn read_exact_body(stream: &TcpStream, rb: &mut RecvBuf, n: usize, out: &mut Vec<u8>) -> io::Result<()> {
+    let mut remaining = n;
+    while remaining > 0 {
+        let avail = rb.unread();
+        if !avail.is_empty() {
+            let take = avail.len().min(remaining);
+            out.extend_from_slice(&avail[..take]);
+            rb.consume(take);
+            remaining -= take;
+            continue;
+        }
+        if rb.fill(stream)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Reads one CRLF-terminated line (returned without the terminator).
+fn read_crlf_line(stream: &TcpStream, rb: &mut RecvBuf) -> io::Result<String> {
+    loop {
+        if let Some(pos) = rb.unread().iter().position(|&b| b == b'\n') {
+            let line = String::from_utf8_lossy(&rb.unread()[..pos])
+                .trim_end_matches('\r')
+                .to_string();
+            rb.consume(pos + 1);
+            return Ok(line);
+        }
+        if rb.unread().len() > MAX_RESPONSE_HEAD {
+            return Err(invalid_data("unterminated chunk header"));
+        }
+        if rb.fill(stream)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-chunk",
+            ));
+        }
+    }
+}
+
+fn parse_response_head(head: &[u8]) -> io::Result<(u16, Vec<(String, String)>)> {
+    let head_text = std::str::from_utf8(head).map_err(|_| invalid_data("non-UTF-8 response head"))?;
+    let mut lines = head_text.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| invalid_data(&format!("malformed status line `{status_line}`")))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok((status, headers))
+}
+
+/// Reads one response off the wire, de-framing the body. The second
+/// element reports whether the connection may carry another exchange
+/// (false after `Connection: close` or a close-delimited body).
+fn read_response(stream: &TcpStream, rb: &mut RecvBuf) -> io::Result<(ClientResponse, bool)> {
+    let head = read_response_head(stream, rb)?;
+    let (status, headers) = parse_response_head(&head)?;
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let mut reusable = !find("connection")
+        .is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case("close")));
+    let mut body = Vec::new();
+    let chunked =
+        find("transfer-encoding").is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
+    if chunked {
+        loop {
+            let size_line = read_crlf_line(stream, rb)?;
+            let size_text = size_line.split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_text, 16)
+                .map_err(|_| invalid_data(&format!("bad chunk size `{size_line}`")))?;
+            if size == 0 {
+                // Consume (empty) trailer section through the blank line.
+                loop {
+                    if read_crlf_line(stream, rb)?.is_empty() {
+                        break;
+                    }
+                }
+                break;
+            }
+            read_exact_body(stream, rb, size, &mut body)?;
+            if !read_crlf_line(stream, rb)?.is_empty() {
+                return Err(invalid_data("missing chunk terminator"));
+            }
+        }
+    } else if let Some(len) = find("content-length").and_then(|v| v.parse::<usize>().ok()) {
+        read_exact_body(stream, rb, len, &mut body)?;
+    } else {
+        // Close-delimited: the body ends with the connection.
+        reusable = false;
+        loop {
+            let avail = rb.unread().len();
+            if avail > 0 {
+                body.extend_from_slice(rb.unread());
+                rb.consume(avail);
+            }
+            if rb.fill(stream)? == 0 {
+                break;
+            }
+        }
+    }
+    Ok((
+        ClientResponse {
+            status,
+            headers,
+            body,
+        },
+        reusable,
+    ))
+}
+
+/// Sends one request and reads the response on an existing connection.
+#[allow(clippy::too_many_arguments)]
+fn exchange(
+    stream: &mut TcpStream,
+    rb: &mut RecvBuf,
     addr: &str,
     method: &str,
     target: &str,
     extra_headers: &[(&str, &str)],
     body: &[u8],
-    timeout: Option<Duration>,
-) -> io::Result<ClientResponse> {
-    let sock_addr = addr
-        .to_socket_addrs()?
-        .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
-    let mut stream = match timeout {
-        Some(t) => TcpStream::connect_timeout(&sock_addr, t)?,
-        None => TcpStream::connect(sock_addr)?,
-    };
-    stream.set_read_timeout(timeout)?;
-    stream.set_write_timeout(timeout)?;
+    keep_alive: bool,
+) -> io::Result<(ClientResponse, bool)> {
     let mut head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n",
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: {}\r\nContent-Length: {}\r\n",
+        connection_header(keep_alive),
         body.len()
     );
     for (k, v) in extra_headers {
@@ -452,44 +801,161 @@ pub fn http_request(
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()?;
+    read_response(stream, rb)
+}
 
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    let head_end = find_subslice(&raw, b"\r\n\r\n")
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated response head"))?;
-    let head_text = std::str::from_utf8(&raw[..head_end])
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
-    let mut lines = head_text.split("\r\n");
-    let status_line = lines.next().unwrap_or("");
-    let status = status_line
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("malformed status line `{status_line}`"),
-            )
-        })?;
-    let headers: Vec<(String, String)> = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
-        .collect();
-    let mut body = raw.split_off(head_end + 4);
-    // Trim to Content-Length when present (streamed responses have none
-    // and end at connection close).
-    if let Some(len) = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .and_then(|(_, v)| v.parse::<usize>().ok())
-    {
-        body.truncate(len);
-    }
-    Ok(ClientResponse {
-        status,
-        headers,
+/// Issues one HTTP/1.1 request (`Connection: close`) and reads the full
+/// response. `timeout` bounds connect and each socket read/write. For
+/// request sequences, prefer [`NetClient`], which amortizes the
+/// handshake across calls.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    target: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Option<Duration>,
+) -> io::Result<ClientResponse> {
+    let sock_addr = resolve(addr)?;
+    let mut stream = match timeout {
+        Some(t) => TcpStream::connect_timeout(&sock_addr, t)?,
+        None => TcpStream::connect(sock_addr)?,
+    };
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    stream.set_nodelay(true)?;
+    let mut rb = RecvBuf::default();
+    let (resp, _) = exchange(
+        &mut stream,
+        &mut rb,
+        addr,
+        method,
+        target,
+        extra_headers,
         body,
-    })
+        false,
+    )?;
+    Ok(resp)
+}
+
+/// A reusable HTTP/1.1 client holding one keep-alive connection to a
+/// fixed address, so N requests cost one TCP handshake instead of N.
+///
+/// [`NetClient::request_on`] sends on the persistent connection and
+/// reconnects transparently — exactly once per call — when a *reused*
+/// connection turns out to be stale (the server idled it out between
+/// requests). A request that fails on a fresh connection is reported as
+/// the error it is.
+pub struct NetClient {
+    addr: String,
+    timeout: Option<Duration>,
+    conn: Option<(TcpStream, RecvBuf)>,
+    connects: u64,
+}
+
+impl NetClient {
+    /// A client for `addr`; no connection is opened until the first
+    /// request. `timeout` bounds connect and each socket read/write.
+    pub fn new(addr: &str, timeout: Option<Duration>) -> NetClient {
+        NetClient {
+            addr: addr.to_string(),
+            timeout,
+            conn: None,
+            connects: 0,
+        }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// How many TCP connections this client has opened so far — the
+    /// load generator asserts reuse through this.
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Drops the persistent connection (the next request reconnects).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn connect(&mut self) -> io::Result<TcpStream> {
+        let sock_addr = resolve(&self.addr)?;
+        let stream = match self.timeout {
+            Some(t) => TcpStream::connect_timeout(&sock_addr, t)?,
+            None => TcpStream::connect(sock_addr)?,
+        };
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        stream.set_nodelay(true)?;
+        self.connects += 1;
+        Ok(stream)
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        target: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        if self.conn.is_none() {
+            let stream = self.connect()?;
+            self.conn = Some((stream, RecvBuf::default()));
+        }
+        let addr = self.addr.clone();
+        let (stream, rb) = self.conn.as_mut().expect("connection just ensured");
+        match exchange(stream, rb, &addr, method, target, extra_headers, body, true) {
+            Ok((resp, reusable)) => {
+                if !reusable {
+                    self.conn = None;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Sends one request on the persistent connection, reading the full
+    /// response. Requests are sequential per client (HTTP/1.1 responses
+    /// come back in order); the server may pipeline internally.
+    pub fn request_on(
+        &mut self,
+        method: &str,
+        target: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let reused = self.conn.is_some();
+        match self.try_request(method, target, extra_headers, body) {
+            Err(e) if reused && is_stale_conn_error(&e) => {
+                // The keep-alive race: the server closed the idle
+                // connection while our request was in flight. Retry once
+                // on a fresh connection; requests are deterministic, so
+                // the replay is safe.
+                self.try_request(method, target, extra_headers, body)
+            }
+            other => other,
+        }
+    }
+}
+
+/// Errors consistent with the server having dropped an idle keep-alive
+/// connection (retry-safe), as opposed to timeouts or protocol faults.
+fn is_stale_conn_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::WriteZero
+    )
 }
 
 #[cfg(test)]
@@ -533,6 +999,18 @@ mod tests {
         assert_eq!(req.query_param("spec"), Some("gen:mrng:100"));
         assert_eq!(req.header("content-type"), Some("text/plain"));
         assert_eq!(req.body, b"hello");
+        assert!(req.http11);
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let keep = |bytes: &[u8]| roundtrip(bytes, Limits::default()).unwrap().wants_keep_alive();
+        assert!(keep(b"GET /x HTTP/1.1\r\n\r\n"));
+        assert!(!keep(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!keep(b"GET /x HTTP/1.0\r\n\r\n"));
+        assert!(keep(b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+        assert!(!keep(b"GET /x HTTP/1.1\r\nConnection: close, keep-alive\r\n\r\n"));
     }
 
     #[test]
@@ -636,11 +1114,13 @@ mod tests {
                         "application/json",
                         &[("X-Test".to_string(), "yes".to_string())],
                         b"{\"ok\":true}",
+                        false,
                     )
                     .unwrap();
                 } else {
                     let mut s =
-                        ResponseStream::begin(&mut stream, 200, "application/jsonl", &[]).unwrap();
+                        ResponseStream::begin(&mut stream, 200, "application/jsonl", &[], false)
+                            .unwrap();
                     s.write_line("{\"line\":1}").unwrap();
                     s.write_line("{\"line\":2}").unwrap();
                     s.finish().unwrap();
@@ -653,6 +1133,121 @@ mod tests {
         assert_eq!(r.body, b"{\"ok\":true}");
         let r = http_request(&addr, "GET", "/stream", &[], b"", None).unwrap();
         assert_eq!(r.text(), "{\"line\":1}\n{\"line\":2}\n");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_requests_survive_in_the_connection_buffer() {
+        // Two requests written back-to-back before the server reads: the
+        // second must come out of the Conn buffer, not be lost with a
+        // per-request reader.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(
+                b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nonePOST /b HTTP/1.1\r\nContent-Length: 3\r\n\r\ntwo",
+            )
+            .unwrap();
+            s.flush().unwrap();
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+            sink
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(stream);
+        let a = conn.read_request(&Limits::default(), None).unwrap();
+        assert_eq!((a.path.as_str(), a.body.as_slice()), ("/a", &b"one"[..]));
+        assert!(
+            conn.has_buffered_input(),
+            "second pipelined request must already be buffered"
+        );
+        let b = conn.read_request(&Limits::default(), None).unwrap();
+        assert_eq!((b.path.as_str(), b.body.as_slice()), ("/b", &b"two"[..]));
+        conn.write_response(200, "text/plain", &[], b"ok-a", true).unwrap();
+        conn.write_response(200, "text/plain", &[], b"ok-b", false).unwrap();
+        drop(conn);
+        let raw = client.join().unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.contains("ok-a") && text.contains("ok-b"));
+    }
+
+    #[test]
+    fn net_client_reuses_one_connection_and_survives_server_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let mut accepted = 0u32;
+            // First connection: serve three requests (streamed, fixed,
+            // fixed), then close. Second connection: serve one.
+            let (stream, _) = listener.accept().unwrap();
+            accepted += 1;
+            let mut conn = Conn::new(stream);
+            for i in 0..3 {
+                let req = conn.read_request(&Limits::default(), None).unwrap();
+                assert!(req.wants_keep_alive());
+                if i == 0 {
+                    let mut s = conn.begin_stream(200, "application/jsonl", &[], true).unwrap();
+                    s.write_line("{\"n\":1}").unwrap();
+                    s.write_line("{\"n\":2}").unwrap();
+                    s.finish().unwrap();
+                } else {
+                    conn.write_response(200, "text/plain", &[], b"again", true).unwrap();
+                }
+            }
+            drop(conn); // server-side close between requests
+            let (stream, _) = listener.accept().unwrap();
+            accepted += 1;
+            let mut conn = Conn::new(stream);
+            let _ = conn.read_request(&Limits::default(), None).unwrap();
+            conn.write_response(200, "text/plain", &[], b"fresh", true).unwrap();
+            accepted
+        });
+        let mut client = NetClient::new(&addr, Some(Duration::from_secs(5)));
+        let r = client.request_on("GET", "/stream", &[], b"").unwrap();
+        assert_eq!(r.text(), "{\"n\":1}\n{\"n\":2}\n");
+        for _ in 0..2 {
+            let r = client.request_on("GET", "/x", &[], b"").unwrap();
+            assert_eq!(r.body, b"again");
+        }
+        assert_eq!(client.connects(), 1, "three requests, one handshake");
+        // The server closed the connection; the next request must
+        // transparently reconnect instead of failing.
+        let r = client.request_on("GET", "/y", &[], b"").unwrap();
+        assert_eq!(r.body, b"fresh");
+        assert_eq!(client.connects(), 2);
+        assert_eq!(server.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn chunked_and_close_delimited_bodies_deframe_identically() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for keep in [true, false] {
+                let (stream, _) = listener.accept().unwrap();
+                let mut conn = Conn::new(stream);
+                let _ = conn.read_request(&Limits::default(), None).unwrap();
+                let mut s = conn
+                    .begin_stream(200, "application/jsonl", &[], keep)
+                    .unwrap();
+                for i in 0..5 {
+                    s.write_line(&format!("{{\"i\":{i}}}")).unwrap();
+                }
+                s.finish().unwrap();
+            }
+        });
+        let mut client = NetClient::new(&addr, Some(Duration::from_secs(5)));
+        let chunked = client.request_on("GET", "/s", &[], b"").unwrap();
+        assert_eq!(
+            chunked.header("transfer-encoding").map(str::to_string),
+            Some("chunked".to_string())
+        );
+        let closed = http_request(&addr, "GET", "/s", &[], b"", None).unwrap();
+        assert_eq!(
+            chunked.body, closed.body,
+            "payload bytes must be framing-independent"
+        );
         server.join().unwrap();
     }
 

@@ -3,32 +3,43 @@
 //! Self-contained: binds an in-process [`crate::Server`] on an ephemeral
 //! loopback port, generates one mesh, serialises it to METIS text once,
 //! and hammers the daemon from N client threads over real sockets with a
-//! deterministic cold/warm request mix. Cold requests carry a unique
-//! seed (fresh fingerprint, full coarsen); warm requests share one seed
-//! and cycle `k`, so after a priming request they all hit the hierarchy
-//! cache. Requests are classified by the daemon's own `X-Mcgp-Cache`
-//! verdict, never by guesswork.
+//! deterministic cold/warm request mix. Each client holds one persistent
+//! keep-alive connection ([`NetClient`]) — the deployment shape the
+//! daemon is tuned for. Cold requests carry a unique seed (fresh
+//! fingerprint, full coarsen); warm requests share one seed and cycle
+//! `k`, so after a priming request they all hit the hierarchy cache.
+//! Requests are classified by the daemon's own `X-Mcgp-Cache` verdict,
+//! never by guesswork.
 //!
 //! Output is JSONL on the provided writer, one row per class
 //! (`serve_cold_*`, `serve_warm_first_*`, `serve_warm_steady_*`,
-//! `serve_mixed_*`), each carrying the
+//! `serve_mixed_*`, and the `serve_warm_keepalive_*` /
+//! `serve_warm_perconn_*` connection-reuse pair), each carrying the
 //! `bench`/`samples`/`median_s`/`min_s`/`max_s` fields `mcgp
-//! bench-check` validates plus `p50_s`/`p99_s` latency quantiles; the
-//! mixed row adds end-to-end throughput (`rps`). Warm requests split by
-//! the daemon's verdict: `X-Mcgp-Cache: hit` (resident entry —
-//! steady-state) vs `wait` (coalesced behind a concurrent build of the
-//! same key — pays a build's wall-clock without doing the build).
-//! Lumping the two produced warm p99s an order of magnitude above the
-//! warm median; keeping them apart gives the SLO window an honest
-//! steady-state baseline. While running, the generator also cross-checks
-//! the determinism contract: two responses to an identical request must
-//! be byte-identical, cold or warm.
+//! bench-check` validates plus `p50_s`/`p99_s` latency quantiles;
+//! throughput rows add `rps`.
+//!
+//! The steady-warm row means steady state: a warm sample lands in
+//! `serve_warm_steady_*` only if the daemon called it `hit` *and* its
+//! wall-clock interval overlapped no cold build — a hit served while a
+//! miss is coarsening on the other worker rides the same contended
+//! epoch (queueing, allocator pressure) and is reported with the
+//! coalesced `wait` verdicts in `serve_warm_first_*` instead. Lumping
+//! them produced steady-warm p99s an order of magnitude above the
+//! median; the split gives the SLO window an honest baseline.
+//!
+//! The connection-reuse pair runs the same small warm request back to
+//! back through one kept-alive socket and then through one socket per
+//! request; `mcgp bench-gate --rps-win` holds their ratio ≥ 2x. While
+//! running, the generator also cross-checks the determinism contract:
+//! responses to an identical request must be byte-identical — cold,
+//! warm, disk, chunked under keep-alive, or close-delimited.
 
 use crate::cache::fnv1a;
 use crate::server::{ServeConfig, Server};
-use mcgp_graph::generators::mrng_like;
+use mcgp_graph::generators::{mrng_like, rmat_default};
 use mcgp_graph::io::write_metis;
-use mcgp_runtime::net::http_request;
+use mcgp_runtime::net::{http_request, NetClient};
 use mcgp_runtime::Json;
 use std::collections::HashMap;
 use std::io::{self, Write};
@@ -36,7 +47,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Load-test shape. Defaults reproduce the checked-in `BENCH_serve.json`:
-/// the 200k mesh of the bench suite, 2 clients, every 6th request cold.
+/// the 200k mesh of the bench suite, 2 clients, every 6th request cold,
+/// plus the rmat9 connection-reuse pair.
 #[derive(Clone, Debug)]
 pub struct BenchServeConfig {
     /// Mesh size (vertices) of the generated graph.
@@ -49,6 +61,13 @@ pub struct BenchServeConfig {
     pub cold_every: usize,
     /// Server worker threads.
     pub workers: usize,
+    /// R-MAT scale (`2^scale` vertices) of the small warm graph behind
+    /// the connection-reuse pair. Small on purpose: per-request work must
+    /// be cheap enough that connection setup is the dominant cost being
+    /// measured.
+    pub small_scale: u32,
+    /// Timed requests in each half of the connection-reuse pair.
+    pub small_requests: usize,
 }
 
 impl Default for BenchServeConfig {
@@ -59,14 +78,30 @@ impl Default for BenchServeConfig {
             clients: 2,
             cold_every: 6,
             workers: 2,
+            small_scale: 9,
+            small_requests: 40,
         }
     }
 }
 
 struct Sample {
-    seconds: f64,
-    /// The daemon's `X-Mcgp-Cache` verdict: `"miss"`, `"hit"`, or `"wait"`.
+    /// Request interval as offsets from the load-test epoch, so warm
+    /// samples can be checked for overlap with cold builds.
+    start: f64,
+    end: f64,
+    /// The daemon's `X-Mcgp-Cache` verdict: `"miss"`, `"hit"`, `"wait"`,
+    /// or `"disk"`.
     verdict: String,
+}
+
+impl Sample {
+    fn seconds(&self) -> f64 {
+        self.end - self.start
+    }
+
+    fn overlaps_any(&self, intervals: &[(f64, f64)]) -> bool {
+        intervals.iter().any(|&(a, b)| self.start < b && a < self.end)
+    }
 }
 
 fn quantile(sorted: &[f64], q: f64) -> f64 {
@@ -99,7 +134,9 @@ fn latency_row(name: &str, samples: &mut [f64], extra: Vec<(String, Json)>) -> S
 /// goes to stderr; the report alone goes to the writer so callers can
 /// redirect it straight into `BENCH_serve.json`.
 pub fn run_serve_bench(cfg: &BenchServeConfig, out: &mut dyn Write) -> io::Result<()> {
-    assert!(cfg.requests >= 2 && cfg.clients >= 1 && cfg.cold_every >= 2);
+    assert!(
+        cfg.requests >= 2 && cfg.clients >= 1 && cfg.cold_every >= 2 && cfg.small_requests >= 4
+    );
     eprintln!(
         "bench serve: generating mrng mesh, nvtxs={} ...",
         cfg.nvtxs
@@ -144,8 +181,8 @@ pub fn run_serve_bench(cfg: &BenchServeConfig, out: &mut dyn Write) -> io::Resul
     );
     let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
     // Responses to an identical request must be byte-identical whether
-    // they were served cold or warm: the determinism contract, enforced
-    // while load-testing.
+    // they were served cold or warm, over a fresh connection or a reused
+    // one: the determinism contract, enforced while load-testing.
     let body_digests: Mutex<HashMap<(usize, u64), u64>> = Mutex::new(HashMap::new());
     let t_start = Instant::now();
     let failure: Mutex<Option<String>> = Mutex::new(None);
@@ -158,6 +195,8 @@ pub fn run_serve_bench(cfg: &BenchServeConfig, out: &mut dyn Write) -> io::Resul
             let failure = &failure;
             let warm_k = &warm_k;
             scope.spawn(move || {
+                // One persistent connection per client for the whole run.
+                let mut net = NetClient::new(addr, timeout);
                 let mut i = client;
                 while i < cfg.requests {
                     let cold = i % cfg.cold_every == 0;
@@ -165,7 +204,7 @@ pub fn run_serve_bench(cfg: &BenchServeConfig, out: &mut dyn Write) -> io::Resul
                     let k = warm_k[i % warm_k.len()];
                     let target = format!("/partition?k={k}&seed={seed}");
                     let t0 = Instant::now();
-                    let resp = match http_request(addr, "POST", &target, &[], body, timeout) {
+                    let resp = match net.request_on("POST", &target, &[], body) {
                         Ok(r) => r,
                         Err(e) => {
                             *failure.lock().unwrap() =
@@ -173,7 +212,8 @@ pub fn run_serve_bench(cfg: &BenchServeConfig, out: &mut dyn Write) -> io::Resul
                             return;
                         }
                     };
-                    let seconds = t0.elapsed().as_secs_f64();
+                    let start = (t0 - t_start).as_secs_f64();
+                    let end = t_start.elapsed().as_secs_f64();
                     if resp.status != 200 {
                         *failure.lock().unwrap() = Some(format!(
                             "request {i} got status {}: {}",
@@ -196,37 +236,47 @@ pub fn run_serve_bench(cfg: &BenchServeConfig, out: &mut dyn Write) -> io::Resul
                             return;
                         }
                     }
-                    samples.lock().unwrap().push(Sample { seconds, verdict });
+                    samples.lock().unwrap().push(Sample { start, end, verdict });
                     i += cfg.clients;
                 }
             });
         }
     });
     let wall_s = t_start.elapsed().as_secs_f64();
+    if let Some(msg) = failure.lock().unwrap().take() {
+        handle.shutdown();
+        let _ = server_thread.join();
+        return Err(io::Error::other(msg));
+    }
+
+    // Connection-reuse pair: the same small warm request, back to back,
+    // through one kept-alive socket and then one socket per request.
+    let pair = small_warm_pair(cfg, &addr, timeout, &body_digests);
 
     handle.shutdown();
     server_thread
         .join()
         .map_err(|_| io::Error::other("server thread panicked"))??;
-    if let Some(msg) = failure.lock().unwrap().take() {
-        return Err(io::Error::other(msg));
-    }
+    let (mut ka, mut pc) = pair?;
 
     let samples = samples.into_inner().unwrap();
-    let by = |v: &str| -> Vec<f64> {
-        samples
-            .iter()
-            .filter(|s| s.verdict == v)
-            .map(|s| s.seconds)
-            .collect()
-    };
-    let mut cold = by("miss");
-    // Steady-warm: served from a resident entry. First-warm: coalesced
-    // behind a concurrent build — a distinct latency class (the waiter
-    // pays the builder's wall-clock), reported as its own row so the
-    // steady row's p99 means what it says.
-    let mut warm_steady = by("hit");
-    let mut warm_first = by("wait");
+    let mut cold: Vec<f64> = Vec::new();
+    let mut warm_steady: Vec<f64> = Vec::new();
+    let mut warm_first: Vec<f64> = Vec::new();
+    // Epoch split: a `hit` only counts as steady state when its interval
+    // overlapped no cold build — contended hits share the `wait` row.
+    let miss_intervals: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| s.verdict == "miss")
+        .map(|s| (s.start, s.end))
+        .collect();
+    for s in &samples {
+        match s.verdict.as_str() {
+            "miss" => cold.push(s.seconds()),
+            "hit" | "disk" if !s.overlaps_any(&miss_intervals) => warm_steady.push(s.seconds()),
+            _ => warm_first.push(s.seconds()),
+        }
+    }
     if cold.is_empty() || warm_steady.is_empty() {
         return Err(io::Error::other(format!(
             "degenerate mix: {} cold / {} steady-warm samples",
@@ -234,7 +284,7 @@ pub fn run_serve_bench(cfg: &BenchServeConfig, out: &mut dyn Write) -> io::Resul
             warm_steady.len()
         )));
     }
-    let mut all: Vec<f64> = samples.iter().map(|s| s.seconds).collect();
+    let mut all: Vec<f64> = samples.iter().map(|s| s.seconds()).collect();
     let label = format!("mrng{}", cfg.nvtxs);
     writeln!(out, "{}", latency_row(&format!("serve_cold_{label}"), &mut cold, vec![]))?;
     if !warm_first.is_empty() {
@@ -263,15 +313,107 @@ pub fn run_serve_bench(cfg: &BenchServeConfig, out: &mut dyn Write) -> io::Resul
             ],
         )
     )?;
+    let small_label = format!("rmat{}", cfg.small_scale);
+    let ka_rps = ka.len() as f64 / ka.iter().sum::<f64>().max(1e-9);
+    let pc_rps = pc.len() as f64 / pc.iter().sum::<f64>().max(1e-9);
+    writeln!(
+        out,
+        "{}",
+        latency_row(
+            &format!("serve_warm_keepalive_{small_label}"),
+            &mut ka,
+            vec![("rps".to_string(), Json::Float(ka_rps))],
+        )
+    )?;
+    writeln!(
+        out,
+        "{}",
+        latency_row(
+            &format!("serve_warm_perconn_{small_label}"),
+            &mut pc,
+            vec![("rps".to_string(), Json::Float(pc_rps))],
+        )
+    )?;
     eprintln!(
-        "bench serve: cold median {:.3}s, steady-warm median {:.3}s ({:.1}x), {} coalesced, {:.2} req/s",
+        "bench serve: cold median {:.3}s, steady-warm median {:.3}s ({:.1}x), {} contended/coalesced, {:.2} req/s mixed; keep-alive {:.1} vs per-conn {:.1} req/s ({:.1}x)",
         quantile(&cold, 0.5),
         quantile(&warm_steady, 0.5),
         quantile(&cold, 0.5) / quantile(&warm_steady, 0.5).max(1e-9),
         warm_first.len(),
-        samples.len() as f64 / wall_s
+        samples.len() as f64 / wall_s,
+        ka_rps,
+        pc_rps,
+        ka_rps / pc_rps.max(1e-9),
     );
     Ok(())
+}
+
+/// Runs the connection-reuse pair against an already-running daemon:
+/// primes a small warm hierarchy, then times `small_requests` identical
+/// warm requests through one persistent connection and again through a
+/// fresh connection per request. Returns the two per-request latency
+/// sets (keep-alive first). Single-client and warm-only by design — the
+/// pair isolates connection setup cost, nothing else.
+fn small_warm_pair(
+    cfg: &BenchServeConfig,
+    addr: &str,
+    timeout: Option<Duration>,
+    body_digests: &Mutex<HashMap<(usize, u64), u64>>,
+) -> io::Result<(Vec<f64>, Vec<f64>)> {
+    let seed: u64 = 2;
+    let k: usize = 4;
+    let graph = rmat_default(cfg.small_scale, 8, 7);
+    let mut body = Vec::new();
+    write_metis(&graph, &mut body).map_err(|e| io::Error::other(e.to_string()))?;
+    let target = format!("/partition?k={k}&seed={seed}");
+    eprintln!(
+        "bench serve: connection-reuse pair, rmat{} x{} ...",
+        cfg.small_scale, cfg.small_requests
+    );
+    let check = |resp: mcgp_runtime::net::ClientResponse, who: &str| -> io::Result<()> {
+        if resp.status != 200 {
+            return Err(io::Error::other(format!(
+                "{who} request got status {}: {}",
+                resp.status,
+                resp.text()
+            )));
+        }
+        let digest = fnv1a(0xcbf2_9ce4_8422_2325, &resp.body);
+        let prior = body_digests.lock().unwrap().insert((k, seed), digest);
+        if prior.is_some_and(|p| p != digest) {
+            return Err(io::Error::other(
+                "determinism violation: keep-alive and per-connection bodies differ".to_string(),
+            ));
+        }
+        Ok(())
+    };
+    // Prime (and absorb the one cold build) before timing anything.
+    let mut net = NetClient::new(addr, timeout);
+    check(net.request_on("POST", &target, &[], &body)?, "priming")?;
+
+    let mut ka = Vec::with_capacity(cfg.small_requests);
+    for _ in 0..cfg.small_requests {
+        let t0 = Instant::now();
+        let resp = net.request_on("POST", &target, &[], &body)?;
+        ka.push(t0.elapsed().as_secs_f64());
+        check(resp, "keep-alive")?;
+    }
+    // The daemon must not have idled out the pumping client: every timed
+    // keep-alive request rode the priming request's socket.
+    if net.connects() != 1 {
+        return Err(io::Error::other(format!(
+            "keep-alive phase opened {} connections, expected 1",
+            net.connects()
+        )));
+    }
+    let mut pc = Vec::with_capacity(cfg.small_requests);
+    for _ in 0..cfg.small_requests {
+        let t0 = Instant::now();
+        let resp = http_request(addr, "POST", &target, &[], &body, timeout)?;
+        pc.push(t0.elapsed().as_secs_f64());
+        check(resp, "per-connection")?;
+    }
+    Ok((ka, pc))
 }
 
 #[cfg(test)]
@@ -286,6 +428,8 @@ mod tests {
             clients: 2,
             cold_every: 3,
             workers: 2,
+            small_scale: 6,
+            small_requests: 4,
         };
         let mut out = Vec::new();
         run_serve_bench(&cfg, &mut out).unwrap();
@@ -294,9 +438,10 @@ mod tests {
             .lines()
             .map(|l| Json::parse(l).expect("row parses"))
             .collect();
-        // 3 rows always (cold / warm_steady / mixed); a 4th
-        // (warm_first) only when the tiny run happened to coalesce.
-        assert!(rows.len() == 3 || rows.len() == 4, "{} rows", rows.len());
+        // 5 rows always (cold / warm_steady / mixed / keepalive /
+        // perconn); a 6th (warm_first) only when the tiny run happened
+        // to coalesce or contend with a cold build.
+        assert!(rows.len() == 5 || rows.len() == 6, "{} rows", rows.len());
         let mut names = Vec::new();
         for row in &rows {
             names.push(row.get("bench").unwrap().as_str().unwrap().to_string());
@@ -312,13 +457,36 @@ mod tests {
         }
         assert!(names[0].starts_with("serve_cold_"));
         assert!(names.iter().any(|n| n.starts_with("serve_warm_steady_")));
-        let mixed = rows.last().unwrap();
-        assert!(mixed
-            .get("bench")
-            .unwrap()
-            .as_str()
-            .unwrap()
-            .starts_with("serve_mixed_"));
-        assert!(mixed.get("rps").unwrap().as_f64().unwrap() > 0.0);
+        let find = |prefix: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.get("bench")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .starts_with(prefix)
+                })
+                .unwrap_or_else(|| panic!("missing {prefix} row"))
+        };
+        assert!(find("serve_mixed_").get("rps").unwrap().as_f64().unwrap() > 0.0);
+        // The reuse pair exists and carries throughput; the tiny run
+        // makes no claim about the ratio (that's bench-gate's job on the
+        // real configuration).
+        assert!(
+            find("serve_warm_keepalive_")
+                .get("rps")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        assert!(
+            find("serve_warm_perconn_")
+                .get("rps")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
     }
 }

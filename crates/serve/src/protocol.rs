@@ -62,7 +62,8 @@ pub struct PartitionParams {
     pub tol: f64,
     /// Coarsening seed (`seed`, default 4242 — the library default).
     pub seed: u64,
-    /// Coarsening stripe count (`threads`, default 1).
+    /// Coarsening stripe count (`threads`; the daemon's configured
+    /// default width when the request doesn't pin one).
     pub nthreads: usize,
 }
 
@@ -78,8 +79,11 @@ fn parse_num<T: std::str::FromStr>(req: &Request, name: &str) -> Result<Option<T
 
 impl PartitionParams {
     /// Parses and range-checks the query parameters of a `/partition`
-    /// request.
-    pub fn from_request(req: &Request) -> Result<PartitionParams, String> {
+    /// request. `default_threads` is the daemon-configured pipeline
+    /// width applied when the request carries no `threads=` parameter
+    /// (set by `--threads`/`MCGP_THREADS` on `mcgp serve`); it is
+    /// range-checked like an explicit value.
+    pub fn from_request(req: &Request, default_threads: usize) -> Result<PartitionParams, String> {
         let nparts: usize = parse_num(req, "k")?
             .ok_or_else(|| "missing required query parameter 'k'".to_string())?;
         if nparts == 0 || nparts > 1 << 20 {
@@ -90,7 +94,7 @@ impl PartitionParams {
             return Err(format!("tol={tol} out of range (finite, 0 < tol < 10)"));
         }
         let seed: u64 = parse_num(req, "seed")?.unwrap_or(4242);
-        let nthreads: usize = parse_num(req, "threads")?.unwrap_or(1);
+        let nthreads: usize = parse_num(req, "threads")?.unwrap_or(default_threads.max(1));
         if nthreads == 0 || nthreads > 256 {
             return Err(format!("threads={nthreads} out of range (1 ..= 256)"));
         }
@@ -237,16 +241,30 @@ mod tests {
 
     #[test]
     fn params_parse_defaults_and_values() {
-        let p = PartitionParams::from_request(&req("/partition?k=8", &[])).unwrap();
+        let p = PartitionParams::from_request(&req("/partition?k=8", &[]), 1).unwrap();
         assert_eq!((p.nparts, p.seed, p.nthreads), (8, 4242, 1));
         assert!((p.tol - 0.05).abs() < 1e-12);
-        let p = PartitionParams::from_request(&req(
-            "/partition?k=4&tol=0.2&seed=7&threads=2",
-            &[],
-        ))
+        let p = PartitionParams::from_request(
+            &req("/partition?k=4&tol=0.2&seed=7&threads=2", &[]),
+            1,
+        )
         .unwrap();
         assert_eq!((p.nparts, p.seed, p.nthreads), (4, 7, 2));
         assert!((p.tol - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn params_honor_daemon_default_threads() {
+        // No threads= parameter: the daemon-configured width applies.
+        let p = PartitionParams::from_request(&req("/partition?k=8", &[]), 4).unwrap();
+        assert_eq!(p.nthreads, 4);
+        // An explicit parameter always wins over the daemon default.
+        let p =
+            PartitionParams::from_request(&req("/partition?k=8&threads=1", &[]), 4).unwrap();
+        assert_eq!(p.nthreads, 1);
+        // A degenerate configured default of 0 clamps to serial.
+        let p = PartitionParams::from_request(&req("/partition?k=8", &[]), 0).unwrap();
+        assert_eq!(p.nthreads, 1);
     }
 
     #[test]
@@ -262,7 +280,7 @@ mod tests {
             "/partition?k=4&threads=999",
         ] {
             assert!(
-                PartitionParams::from_request(&req(target, &[])).is_err(),
+                PartitionParams::from_request(&req(target, &[]), 1).is_err(),
                 "{target} should be rejected"
             );
         }

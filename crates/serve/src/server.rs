@@ -1,12 +1,22 @@
-//! The partitioning daemon: accept loop, worker pool, routing, metrics,
-//! graceful drain.
+//! The partitioning daemon: accept loop, worker pool, keep-alive
+//! connection loop, routing, metrics, graceful drain.
 //!
-//! One `Connection: close` HTTP exchange per connection, handled on a
-//! fixed pool of worker threads fed from an accept queue. The accept
-//! loop polls a shutdown latch (set by `POST /shutdown` or by
+//! Connections are persistent HTTP/1.1 by default: a worker thread owns
+//! an accepted socket for its whole lifetime and serves requests in a
+//! loop until the client sends `Connection: close`, the idle deadline
+//! between requests expires, the per-connection request cap is reached,
+//! or shutdown drains the daemon. Pipelined requests already buffered on
+//! the connection are served before the socket is released. Error
+//! responses always carry `Connection: close` — after a protocol-level
+//! failure the stream position is suspect, so the daemon resynchronises
+//! by closing.
+//!
+//! The accept loop polls a shutdown latch (set by `POST /shutdown` or by
 //! SIGINT/SIGTERM via [`crate::signal`]) between non-blocking accepts;
-//! on shutdown it stops accepting, the workers drain the queue, and
-//! [`Server::run`] returns — in-flight requests always finish.
+//! on shutdown it stops accepting, the workers drain the queue (keep-alive
+//! loops end after the in-flight request), resident hierarchies spill to
+//! `--cache-dir` when one is configured, and [`Server::run`] returns —
+//! in-flight requests always finish.
 //!
 //! Endpoints:
 //!
@@ -25,7 +35,9 @@
 //! answered with a 500, and never takes down the daemon or poisons the
 //! hierarchy cache.
 
-use crate::cache::{fingerprint, CacheStats, CacheVerdict, CachedEntry, HierarchyCache};
+use crate::cache::{
+    fingerprint, CacheConfig, CacheStats, CacheVerdict, CachedEntry, HierarchyCache,
+};
 use crate::protocol::{
     done_line, meta_line, part_line, GraphFormat, PartitionParams, RequestError, PART_CHUNK,
 };
@@ -35,9 +47,7 @@ use mcgp_graph::check::check_graph;
 use mcgp_graph::io::{graph_from_json, read_metis};
 use mcgp_graph::{CheckLevel, McgpError};
 use mcgp_runtime::metrics::{MetricsReport, PromWriter, WindowedHistogram};
-use mcgp_runtime::net::{
-    read_request, write_response, Limits, NetError, Request, ResponseStream,
-};
+use mcgp_runtime::net::{Conn, Limits, NetError, Request};
 use mcgp_runtime::phase::{Counter, Phase, PhaseReport};
 use mcgp_runtime::profile::Profiler;
 use mcgp_runtime::trace::{self, TraceEvent};
@@ -46,6 +56,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -96,9 +107,25 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Hierarchy-cache byte budget.
     pub cache_bytes: usize,
-    /// Whole-request read deadline and per-operation write timeout
-    /// (408 on expiry).
+    /// Whole-request read deadline for the first request on a connection,
+    /// and the per-operation write timeout (408 on expiry).
     pub io_timeout: Duration,
+    /// Keep-alive deadline: a follow-up request on a persistent
+    /// connection must arrive *and complete* within this window, so an
+    /// idle peer (or one dripping a request byte-by-byte — slowloris)
+    /// cannot pin a worker past it.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the daemon forces a
+    /// close — bounds per-connection resource residency and gives load
+    /// balancers a natural rebalancing point.
+    pub max_requests_per_conn: u64,
+    /// When set, evicted and shutdown-resident hierarchies spill here and
+    /// cache misses probe it first, so a restart with the same directory
+    /// serves warm (`X-Mcgp-Cache: disk`, `X-Mcgp-Coarsen-Us: 0`).
+    pub cache_dir: Option<PathBuf>,
+    /// Default for the `threads=` query parameter — requests that don't
+    /// pin a thread count run the partitioning pipeline at this width.
+    pub default_threads: usize,
     /// Request head/body size limits.
     pub limits: Limits,
 }
@@ -110,6 +137,10 @@ impl Default for ServeConfig {
             workers: 2,
             cache_bytes: 256 * 1024 * 1024,
             io_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(10),
+            max_requests_per_conn: 1024,
+            cache_dir: None,
+            default_threads: 1,
             limits: Limits::default(),
         }
     }
@@ -121,6 +152,9 @@ struct ServeStats {
     requests: AtomicU64,
     ok: AtomicU64,
     errors: AtomicU64,
+    /// Accepted connections. `requests / connections` is the observed
+    /// keep-alive reuse factor.
+    connections: AtomicU64,
     /// Microsecond latency of successful `/partition` requests: lifetime
     /// histogram + sliding window for steady-state quantiles.
     latency_us: Mutex<WindowedHistogram>,
@@ -143,6 +177,7 @@ impl Default for ServeStats {
             requests: AtomicU64::new(0),
             ok: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
             latency_us: Mutex::new(WindowedHistogram::new(LATENCY_EPOCHS, LATENCY_EPOCH_LEN)),
             by_route: Mutex::new(BTreeMap::new()),
             by_threads: Mutex::new(BTreeMap::new()),
@@ -259,8 +294,10 @@ impl Server {
     /// until [`Server::run`].
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let mut cache_config = CacheConfig::new(config.cache_bytes);
+        cache_config.spill_dir = config.cache_dir.clone();
         let state = Arc::new(State {
-            cache: HierarchyCache::new(config.cache_bytes),
+            cache: HierarchyCache::with_config(cache_config),
             stats: ServeStats::default(),
             shutdown: AtomicBool::new(false),
             seq: AtomicU64::new(0),
@@ -332,34 +369,76 @@ impl Server {
             queue.lock().unwrap().1 = true;
             available.notify_all();
         });
+        // Warm-restart handoff: persist what this process coarsened so the
+        // next one with the same --cache-dir starts with X-Mcgp-Cache: disk
+        // instead of cold misses. A no-op without a spill directory.
+        state.cache.spill_all();
         Ok(())
     }
 }
 
-fn handle_connection(state: &State, mut stream: TcpStream) {
-    let t0 = Instant::now();
-    let _ = stream.set_read_timeout(Some(state.config.io_timeout));
+/// Serves one connection to completion: a keep-alive loop over
+/// [`Conn::read_request`]. The first request gets the full
+/// `io_timeout` read deadline; follow-up requests on the reused socket
+/// must arrive *and complete* within `idle_timeout` (the slowloris
+/// bound — a peer dripping its second request one byte at a time gets a
+/// 408, not a pinned worker). The loop ends on `Connection: close`, the
+/// request cap, shutdown, an ingest error, or a failed write.
+fn handle_connection(state: &State, stream: TcpStream) {
+    state.stats.connections.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_write_timeout(Some(state.config.io_timeout));
-    match read_request(
-        &mut stream,
-        &state.config.limits,
-        Some(state.config.io_timeout),
-    ) {
-        // Nothing arrived (port scan, probe, client gave up): not a request.
-        Err(NetError::Closed) => {}
-        Err(e) => {
-            state.stats.record_error("ingest");
-            let (status, kind) = match &e {
-                NetError::Timeout => (408, "timeout"),
-                NetError::TooLarge { .. } => (413, "too_large"),
-                _ => (400, "bad_request"),
-            };
-            let body = error_body(kind, &e.to_string());
-            let _ = write_response(&mut stream, status, "application/json", &[], body.as_bytes());
+    // Nagle + delayed-ACK stalls every small chunked write behind the
+    // peer's ACK clock (~40ms each) — fatal for pipelined keep-alive.
+    let _ = stream.set_nodelay(true);
+    let mut conn = Conn::new(stream);
+    let mut served: u64 = 0;
+    loop {
+        let deadline = if served == 0 {
+            state.config.io_timeout
+        } else {
+            state.config.idle_timeout
+        };
+        match conn.read_request(&state.config.limits, Some(deadline)) {
+            // Nothing arrived (probe, or the clean end of a keep-alive
+            // conversation): not a request.
+            Err(NetError::Closed) => break,
+            Err(e) => {
+                // An idle keep-alive peer timing out with no bytes in
+                // flight is the connection reaching end-of-life, not a
+                // client mistake; only partial or malformed requests
+                // count as ingest errors.
+                let idle_expiry =
+                    served > 0 && matches!(e, NetError::Timeout) && !conn.has_buffered_input();
+                if !idle_expiry {
+                    state.stats.record_error("ingest");
+                }
+                let (status, kind) = match &e {
+                    NetError::Timeout => (408, "timeout"),
+                    NetError::TooLarge { .. } => (413, "too_large"),
+                    _ => (400, "bad_request"),
+                };
+                let body = error_body(kind, &e.to_string());
+                let _ =
+                    conn.write_response(status, "application/json", &[], body.as_bytes(), false);
+                break;
+            }
+            Ok(req) => {
+                // Latency clock starts once the request has fully
+                // arrived: accept-queue wait and client upload time are
+                // the client's story, not the partitioner's.
+                let t0 = Instant::now();
+                served += 1;
+                let keep = req.wants_keep_alive()
+                    && served < state.config.max_requests_per_conn
+                    && !state.shutdown_requested();
+                let alive = route(state, &mut conn, req, t0, keep);
+                drain_observability(state);
+                if !alive || !keep || state.shutdown_requested() {
+                    break;
+                }
+            }
         }
-        Ok(req) => route(state, &mut stream, req, t0),
     }
-    drain_observability(state);
 }
 
 fn error_body(kind: &str, detail: &str) -> String {
@@ -386,52 +465,68 @@ fn wants_prom(req: &Request) -> bool {
         .is_some_and(|a| a.contains("text/plain") || a.contains("openmetrics"))
 }
 
-fn route(state: &State, stream: &mut TcpStream, req: Request, t0: Instant) {
+/// Dispatches one request and returns whether the connection is still
+/// usable for a follow-up (`keep` honoured and the write succeeded).
+/// Every error response advertises `Connection: close`.
+fn route(state: &State, conn: &mut Conn, req: Request, t0: Instant, keep: bool) -> bool {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/partition") => handle_partition(state, stream, req, t0),
+        ("POST", "/partition") => handle_partition(state, conn, req, t0, keep),
         ("GET", "/metrics") => {
             if wants_prom(&req) {
                 let body = metrics_prom(state);
                 state.stats.record_ok("metrics", "ok", None);
-                let _ = write_response(
-                    stream,
+                conn.write_response(
                     200,
                     "text/plain; version=0.0.4",
                     &[],
                     body.as_bytes(),
-                );
+                    keep,
+                )
+                .is_ok()
+                    && keep
             } else {
                 let mut body = metrics_json(state).to_string();
                 body.push('\n');
                 state.stats.record_ok("metrics", "ok", None);
-                let _ = write_response(stream, 200, "application/json", &[], body.as_bytes());
+                conn.write_response(200, "application/json", &[], body.as_bytes(), keep)
+                    .is_ok()
+                    && keep
             }
         }
-        ("GET", "/profile") => handle_profile(state, stream, &req),
+        ("GET", "/profile") => handle_profile(state, conn, &req, keep),
         ("GET", "/healthz") => {
             state.stats.record_ok("healthz", "ok", None);
-            let _ = write_response(stream, 200, "application/json", &[], b"{\"ok\":true}\n");
+            conn.write_response(200, "application/json", &[], b"{\"ok\":true}\n", keep)
+                .is_ok()
+                && keep
         }
         ("POST", "/shutdown") => {
             state.stats.record_ok("shutdown", "ok", None);
-            let _ = write_response(
-                stream,
+            // The daemon is draining: never invite a follow-up request.
+            let _ = conn.write_response(
                 200,
                 "application/json",
                 &[],
                 b"{\"draining\":true}\n",
+                false,
             );
             state.shutdown.store(true, Ordering::SeqCst);
+            false
         }
         (_, "/partition" | "/metrics" | "/healthz" | "/shutdown" | "/profile") => {
             state.stats.record_error("method");
-            let body = error_body("method_not_allowed", &format!("{} not allowed here", req.method));
-            let _ = write_response(stream, 405, "application/json", &[], body.as_bytes());
+            let body = error_body(
+                "method_not_allowed",
+                &format!("{} not allowed here", req.method),
+            );
+            let _ = conn.write_response(405, "application/json", &[], body.as_bytes(), false);
+            false
         }
         (_, path) => {
             state.stats.record_error("not_found");
             let body = error_body("not_found", &format!("no such endpoint: {path}"));
-            let _ = write_response(stream, 404, "application/json", &[], body.as_bytes());
+            let _ = conn.write_response(404, "application/json", &[], body.as_bytes(), false);
+            false
         }
     }
 }
@@ -443,7 +538,7 @@ fn route(state: &State, stream: &mut TcpStream, req: Request, t0: Instant) {
 /// so sampling doesn't phase-lock with periodic work). One session at a
 /// time: concurrent requests get 503 rather than sharing the process-wide
 /// enable flag.
-fn handle_profile(state: &State, stream: &mut TcpStream, req: &Request) {
+fn handle_profile(state: &State, conn: &mut Conn, req: &Request, keep: bool) -> bool {
     // `parse::<f64>` accepts "nan"/"inf", and NaN passes straight through
     // `clamp` into `Duration::from_secs_f64`, which panics — so non-finite
     // values fall back to the default like any other unusable input.
@@ -460,8 +555,8 @@ fn handle_profile(state: &State, stream: &mut TcpStream, req: &Request) {
     let Some(_session) = ProfileSlot::acquire() else {
         state.stats.record_error("profile");
         let body = error_body("profiler_busy", "another /profile session is running");
-        let _ = write_response(stream, 503, "application/json", &[], body.as_bytes());
-        return;
+        let _ = conn.write_response(503, "application/json", &[], body.as_bytes(), false);
+        return false;
     };
     // Same containment as the partition path: a panic costs this request a
     // 500, not the daemon a worker (the slot guard above still releases).
@@ -473,7 +568,9 @@ fn handle_profile(state: &State, stream: &mut TcpStream, req: &Request) {
     match folded {
         Ok(folded) => {
             state.stats.record_ok("profile", "ok", None);
-            let _ = write_response(stream, 200, "text/plain", &[], folded.as_bytes());
+            conn.write_response(200, "text/plain", &[], folded.as_bytes(), keep)
+                .is_ok()
+                && keep
         }
         Err(_) => {
             state.stats.record_error("profile");
@@ -481,7 +578,8 @@ fn handle_profile(state: &State, stream: &mut TcpStream, req: &Request) {
                 "internal",
                 "profiler panicked on this request; the daemon survives",
             );
-            let _ = write_response(stream, 500, "application/json", &[], body.as_bytes());
+            let _ = conn.write_response(500, "application/json", &[], body.as_bytes(), false);
+            false
         }
     }
 }
@@ -499,6 +597,9 @@ fn compute(
     let (entry, verdict) = state
         .cache
         .get_or_build(fp, || {
+            // Wall-clock the parse+check+coarsen pipeline: the measured
+            // rebuild cost is what GDSF eviction weighs this entry by.
+            let build_t0 = Instant::now();
             let graph = match format {
                 GraphFormat::Metis => read_metis(body)?,
                 GraphFormat::Json => {
@@ -519,7 +620,8 @@ fn compute(
                 ..PartitionConfig::default()
             };
             let snapshot = HierarchySnapshot::build(&graph, &cfg);
-            Ok(CachedEntry::new(graph, snapshot))
+            let cost_s = build_t0.elapsed().as_secs_f64();
+            Ok(CachedEntry::new(graph, snapshot, cost_s))
         })
         .map_err(RequestError::Graph)?;
     if p.nparts > entry.graph.nvtxs() {
@@ -539,11 +641,11 @@ fn compute(
     Ok((entry, verdict, result))
 }
 
-fn handle_partition(state: &State, stream: &mut TcpStream, req: Request, t0: Instant) {
+fn handle_partition(state: &State, conn: &mut Conn, req: Request, t0: Instant, keep: bool) -> bool {
     let seq = state.seq.fetch_add(1, Ordering::Relaxed);
-    let params = match PartitionParams::from_request(&req) {
+    let params = match PartitionParams::from_request(&req, state.config.default_threads) {
         Ok(p) => p,
-        Err(msg) => return finish_error(state, stream, &RequestError::Param(msg)),
+        Err(msg) => return finish_error(state, conn, &RequestError::Param(msg)),
     };
     let format = GraphFormat::from_request(&req);
     let fp = fingerprint(format, &req.body, params.seed, params.nthreads);
@@ -566,13 +668,13 @@ fn handle_partition(state: &State, stream: &mut TcpStream, req: Request, t0: Ins
             let err = RequestError::Internal(
                 "partitioner panicked on this request; the daemon survives".into(),
             );
-            return finish_error(state, stream, &err);
+            return finish_error(state, conn, &err);
         }
     };
     match outcome {
         Err(err) => {
             span.record("outcome", err.parts().1);
-            finish_error(state, stream, &err);
+            finish_error(state, conn, &err)
         }
         Ok((entry, verdict, result)) => {
             state.stats.phases.lock().unwrap().merge(&report);
@@ -590,43 +692,44 @@ fn handle_partition(state: &State, stream: &mut TcpStream, req: Request, t0: Ins
                 ("X-Mcgp-Coarsen-Us".to_string(), coarsen_us.to_string()),
                 ("X-Mcgp-Total-Us".to_string(), total_us.to_string()),
             ];
-            match write_success(stream, &headers, fp, &params, &entry, &result) {
+            match write_success(conn, &headers, fp, &params, &entry, &result, keep) {
                 Ok(()) => {
                     state
                         .stats
                         .record_ok("partition", verdict.header_value(), Some(total_us));
                     state.stats.count_threads(params.nthreads);
+                    keep
                 }
                 // The response could not be delivered (client went away):
                 // the work succeeded but the request did not.
-                Err(_) => state.stats.record_error("partition"),
+                Err(_) => {
+                    state.stats.record_error("partition");
+                    false
+                }
             }
         }
     }
 }
 
-fn finish_error(state: &State, stream: &mut TcpStream, err: &RequestError) {
+fn finish_error(state: &State, conn: &mut Conn, err: &RequestError) -> bool {
     state.stats.record_error("partition");
     let (status, _, _) = err.parts();
-    let _ = write_response(
-        stream,
-        status,
-        "application/json",
-        &[],
-        err.body().as_bytes(),
-    );
+    let _ = conn.write_response(status, "application/json", &[], err.body().as_bytes(), false);
+    false
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_success(
-    stream: &mut TcpStream,
+    conn: &mut Conn,
     headers: &[(String, String)],
     fp: u64,
     params: &PartitionParams,
     entry: &CachedEntry,
     result: &PartitionResult,
+    keep: bool,
 ) -> io::Result<()> {
     let g = &entry.graph;
-    let mut rs = ResponseStream::begin(stream, 200, "application/x-ndjson", headers)?;
+    let mut rs = conn.begin_stream(200, "application/x-ndjson", headers, keep)?;
     rs.write_line(&meta_line(
         fp,
         params,
@@ -667,6 +770,7 @@ fn drain_observability(state: &State) {
 fn metrics_json(state: &State) -> Json {
     let stats = &state.stats;
     let cache = state.cache.stats();
+    let scores = state.cache.entry_scores();
     let latency = stats.latency_us.lock().unwrap().clone();
     let by_route = stats.by_route.lock().unwrap().clone();
     let by_threads = stats.by_threads.lock().unwrap().clone();
@@ -688,6 +792,20 @@ fn metrics_json(state: &State) -> Json {
         .iter()
         .map(|(t, n)| (format!("t{t}"), Json::UInt(*n)))
         .collect();
+    // The GDSF scoreboard: what eviction would spare, highest priority
+    // first. Bounded by the cache budget, so the cardinality stays sane.
+    let score_rows: Vec<Json> = scores
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("fingerprint", Json::Str(format!("{:016x}", s.fingerprint))),
+                ("bytes", Json::UInt(s.bytes as u64)),
+                ("build_cost_s", Json::Float(s.cost_s)),
+                ("freq", Json::UInt(s.freq)),
+                ("priority", Json::Float(s.priority)),
+            ])
+        })
+        .collect();
     Json::obj([
         (
             "requests",
@@ -695,6 +813,10 @@ fn metrics_json(state: &State) -> Json {
         ),
         ("ok", Json::UInt(stats.ok.load(Ordering::Relaxed))),
         ("errors", Json::UInt(stats.errors.load(Ordering::Relaxed))),
+        (
+            "connections",
+            Json::UInt(stats.connections.load(Ordering::Relaxed)),
+        ),
         ("routes", Json::Obj(route_pairs)),
         (
             // Successful partitions keyed by their `threads=` parameter.
@@ -711,7 +833,13 @@ fn metrics_json(state: &State) -> Json {
                 ("misses", Json::UInt(cache.misses)),
                 ("coalesced", Json::UInt(cache.coalesced)),
                 ("evictions", Json::UInt(cache.evictions)),
+                ("disk_hits", Json::UInt(cache.disk_hits)),
+                ("admission_rejects", Json::UInt(cache.admission_rejects)),
+                ("spill_writes", Json::UInt(cache.spill_writes)),
+                ("spill_errors", Json::UInt(cache.spill_errors)),
+                ("inflation", Json::Float(cache.inflation)),
                 ("hit_ratio", Json::Float(cache.hit_ratio())),
+                ("scores", Json::Arr(score_rows)),
             ]),
         ),
         ("latency_us", latency.lifetime().to_json()),
@@ -760,6 +888,12 @@ fn metrics_prom(state: &State) -> String {
         &[],
         stats.errors.load(Ordering::Relaxed),
     );
+    w.counter(
+        "mcgp_connections_total",
+        "Accepted connections (requests/connections is the keep-alive reuse factor).",
+        &[],
+        stats.connections.load(Ordering::Relaxed),
+    );
     for (t, n) in &by_threads {
         let t = t.to_string();
         w.counter(
@@ -791,6 +925,7 @@ fn metrics_prom(state: &State) -> String {
         ("hit", cache.hits),
         ("miss", cache.misses),
         ("wait", cache.coalesced),
+        ("disk", cache.disk_hits),
     ] {
         w.counter(
             "mcgp_cache_lookups_total",
@@ -805,12 +940,47 @@ fn metrics_prom(state: &State) -> String {
         &[],
         cache.evictions,
     );
+    w.counter(
+        "mcgp_cache_admission_rejects_total",
+        "First-sight entries denied RAM residency by the admission doorkeeper.",
+        &[],
+        cache.admission_rejects,
+    );
+    w.counter(
+        "mcgp_cache_spill_writes_total",
+        "Hierarchy snapshots written to the spill directory.",
+        &[],
+        cache.spill_writes,
+    );
+    w.counter(
+        "mcgp_cache_spill_errors_total",
+        "Spill writes or loads that failed (corrupt files quarantined).",
+        &[],
+        cache.spill_errors,
+    );
+    w.gauge(
+        "mcgp_cache_inflation",
+        "GDSF aging floor: the priority newly admitted entries start from.",
+        &[],
+        cache.inflation,
+    );
     w.gauge(
         "mcgp_cache_hit_ratio",
         "Fraction of lookups that skipped coarsening.",
         &[],
         cache.hit_ratio(),
     );
+    // Per-entry GDSF priorities. Cardinality is bounded by the cache
+    // byte budget (each resident entry is a whole coarsening hierarchy).
+    for s in state.cache.entry_scores() {
+        let fp = format!("{:016x}", s.fingerprint);
+        w.gauge(
+            "mcgp_cache_entry_priority",
+            "GDSF priority of a resident cache entry (higher survives longer).",
+            &[("fingerprint", fp.as_str())],
+            s.priority,
+        );
+    }
     w.histogram(
         "mcgp_request_latency_seconds",
         "Lifetime latency of successful partition requests.",

@@ -9,7 +9,7 @@ use mcgp_core::{partition_kway, PartitionConfig};
 use mcgp_graph::generators::mrng_like;
 use mcgp_graph::io::write_metis;
 use mcgp_graph::{synthetic, Graph};
-use mcgp_runtime::net::{http_request, ClientResponse, Limits};
+use mcgp_runtime::net::{http_request, ClientResponse, Limits, NetClient};
 use mcgp_runtime::Json;
 use mcgp_serve::server::{ServeConfig, Server};
 use mcgp_serve::ServerHandle;
@@ -547,4 +547,355 @@ fn shutdown_endpoint_drains_and_run_returns() {
     assert!(resp.text().contains("draining"));
     // run() returns on its own — no handle.shutdown() here.
     thread.join().unwrap().unwrap();
+}
+
+/// A scratch directory under the system temp dir, unique per test.
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mcgp-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// De-frames a chunked transfer-encoded body back to its payload bytes.
+fn dechunk(mut body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = body
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .expect("chunk size line");
+        let size = usize::from_str_radix(
+            std::str::from_utf8(&body[..line_end]).unwrap().trim(),
+            16,
+        )
+        .expect("hex chunk size");
+        body = &body[line_end + 2..];
+        if size == 0 {
+            return out;
+        }
+        out.extend_from_slice(&body[..size]);
+        assert_eq!(&body[size..size + 2], b"\r\n", "chunk terminator");
+        body = &body[size + 2..];
+    }
+}
+
+/// Splits one raw HTTP response off the front of `bytes`: returns
+/// (head text, de-framed payload, rest). Supports the three server
+/// framings: `Transfer-Encoding: chunked`, `Content-Length`, and
+/// close-delimited (everything to EOF).
+fn split_response(bytes: &[u8]) -> (String, Vec<u8>, &[u8]) {
+    let head_end = bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head")
+        + 4;
+    let head = String::from_utf8(bytes[..head_end].to_vec()).unwrap();
+    let rest = &bytes[head_end..];
+    let lower = head.to_ascii_lowercase();
+    if lower.contains("transfer-encoding: chunked") {
+        let term = rest
+            .windows(5)
+            .position(|w| w == b"0\r\n\r\n")
+            .expect("chunked terminator")
+            + 5;
+        (head, dechunk(&rest[..term]), &rest[term..])
+    } else if let Some(len) = lower
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+    {
+        let len: usize = len.trim().parse().unwrap();
+        (head, rest[..len].to_vec(), &rest[len..])
+    } else {
+        // Close-delimited: the payload runs to the end of the stream.
+        (head, rest.to_vec(), &rest[rest.len()..])
+    }
+}
+
+#[test]
+fn pipelined_keepalive_requests_are_byte_stable_on_one_socket() {
+    let graph = mrng_like(400, 11);
+    let body = metis_bytes(&graph);
+    let (addr, handle, thread) = start_default();
+
+    // Reference response over a throwaway connection (close-delimited).
+    let reference = post(&addr, "/partition?k=4", &body);
+    assert_eq!(reference.status, 200, "{}", reference.text());
+
+    // Three identical requests written back to back in one burst — the
+    // third asks the server to close so the socket drains cleanly.
+    let mut burst = Vec::new();
+    for i in 0..3 {
+        let close = if i == 2 { "Connection: close\r\n" } else { "" };
+        burst.extend_from_slice(
+            format!(
+                "POST /partition?k=4 HTTP/1.1\r\nHost: {addr}\r\n{close}Content-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        burst.extend_from_slice(&body);
+    }
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    s.write_all(&burst).unwrap();
+    let mut all = Vec::new();
+    s.read_to_end(&mut all).unwrap();
+
+    let mut rest: &[u8] = &all;
+    for i in 0..3 {
+        let (head, payload, after) = split_response(rest);
+        rest = after;
+        assert!(head.starts_with("HTTP/1.1 200"), "response {i}: {head}");
+        let lower = head.to_ascii_lowercase();
+        if i < 2 {
+            assert!(lower.contains("connection: keep-alive"), "{head}");
+            assert!(lower.contains("transfer-encoding: chunked"), "{head}");
+            // Pipelined follow-ups are warm: the first request on this
+            // socket already built the hierarchy (the reference request
+            // built it even earlier).
+            assert!(lower.contains("x-mcgp-cache: hit"), "response {i}: {head}");
+        } else {
+            assert!(lower.contains("connection: close"), "{head}");
+        }
+        assert_eq!(
+            payload, reference.body,
+            "response {i} payload differs from the per-connection reference"
+        );
+    }
+    assert!(rest.is_empty(), "{} stray bytes after responses", rest.len());
+
+    // The whole burst rode one connection; with the reference request
+    // that's 2 accepted sockets for 4 served partitions (the /metrics
+    // connection is counted on accept, but its request snapshot is taken
+    // before it records itself).
+    let json = Json::parse(get(&addr, "/metrics").text().trim()).unwrap();
+    assert_eq!(json.get("connections").unwrap().as_i64(), Some(3));
+    assert_eq!(json.get("requests").unwrap().as_i64(), Some(4));
+
+    stop(&handle, thread);
+}
+
+#[test]
+fn net_client_reuse_matches_per_connection_responses() {
+    let graph = mrng_like(500, 13);
+    let body = metis_bytes(&graph);
+    let (addr, handle, thread) = start_default();
+
+    let reference = post(&addr, "/partition?k=3", &body);
+    assert_eq!(reference.status, 200, "{}", reference.text());
+
+    let mut net = NetClient::new(&addr, Some(Duration::from_secs(60)));
+    for i in 0..4 {
+        let resp = net.request_on("POST", "/partition?k=3", &[], &body).unwrap();
+        assert_eq!(resp.status, 200, "request {i}");
+        assert_eq!(resp.header("x-mcgp-cache"), Some("hit"), "request {i}");
+        assert_eq!(resp.body, reference.body, "request {i} body differs");
+    }
+    assert_eq!(net.connects(), 1, "client must have reused one socket");
+
+    stop(&handle, thread);
+}
+
+#[test]
+fn slowloris_second_request_is_reaped_on_the_idle_deadline() {
+    let graph = mrng_like(300, 17);
+    let body = metis_bytes(&graph);
+    let (addr, handle, thread) = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        io_timeout: Duration::from_secs(10),
+        idle_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(
+        format!(
+            "POST /partition?k=2 HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    s.write_all(&body).unwrap();
+    let mut buf = vec![0u8; 1 << 20];
+    // Read the first (chunked) response to its terminator.
+    let mut got = Vec::new();
+    while !got.windows(5).any(|w| w == b"0\r\n\r\n") {
+        let n = s.read(&mut buf).unwrap();
+        assert!(n > 0, "server closed before finishing the first response");
+        got.extend_from_slice(&buf[..n]);
+    }
+    assert!(got.starts_with(b"HTTP/1.1 200"), "first response must succeed");
+
+    // Drip the second request a few bytes at a time, slower than the idle
+    // deadline allows. Re-arming reads must not extend the deadline: the
+    // worker reaps the connection with a 408 instead of staying pinned.
+    let t0 = std::time::Instant::now();
+    let mut tail = Vec::new();
+    for piece in ["POST /par", "tition?k=2 ", "HTTP/1.1\r\nCon"] {
+        if s.write_all(piece.as_bytes()).is_err() {
+            break; // server already closed on us — also a pass
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    let _ = s.read_to_end(&mut tail);
+    let answer = String::from_utf8_lossy(&tail);
+    assert!(
+        answer.contains("HTTP/1.1 408") || answer.is_empty(),
+        "expected 408 or close, got: {answer}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "drip-fed request pinned the worker for {:?}",
+        t0.elapsed()
+    );
+
+    stop(&handle, thread);
+}
+
+#[test]
+fn warm_restart_from_cache_dir_serves_disk_hits_with_zero_coarsening() {
+    let graph = synthetic::type1(&mrng_like(900, 21), 2, 21);
+    let body = metis_bytes(&graph);
+    let dir = tempdir("warm-restart");
+
+    // First daemon lifetime: a cold build, spilled on graceful drain.
+    let (addr, handle, thread) = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let cold = post(&addr, "/partition?k=5", &body);
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    assert_eq!(cold.header("x-mcgp-cache"), Some("miss"));
+    stop(&handle, thread);
+    assert!(
+        std::fs::read_dir(&dir).unwrap().count() > 0,
+        "shutdown must spill resident hierarchies to the cache dir"
+    );
+
+    // Second daemon lifetime, same directory: the first request reloads
+    // the hierarchy from disk — no coarsening, byte-identical body.
+    let (addr, handle, thread) = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let warm = post(&addr, "/partition?k=5", &body);
+    assert_eq!(warm.status, 200, "{}", warm.text());
+    assert_eq!(warm.header("x-mcgp-cache"), Some("disk"));
+    assert_eq!(
+        warm.header("x-mcgp-coarsen-us").unwrap().parse::<u64>().unwrap(),
+        0,
+        "a disk reload must not coarsen"
+    );
+    assert_eq!(cold.body, warm.body, "cold and disk-warm responses differ");
+    // Once resident, repeats are plain RAM hits.
+    let again = post(&addr, "/partition?k=5", &body);
+    assert_eq!(again.header("x-mcgp-cache"), Some("hit"));
+    assert_eq!(cold.body, again.body);
+
+    let json = Json::parse(get(&addr, "/metrics").text().trim()).unwrap();
+    let cache = json.get("cache").unwrap();
+    assert_eq!(cache.get("disk_hits").unwrap().as_i64(), Some(1));
+    assert_eq!(cache.get("hits").unwrap().as_i64(), Some(1));
+    let prom = get(&addr, "/metrics?format=prom").text();
+    assert!(
+        prom.contains("mcgp_cache_lookups_total{result=\"disk\"} 1"),
+        "missing disk lookup counter in:\n{prom}"
+    );
+
+    stop(&handle, thread);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_spill_files_fall_back_to_a_cold_build() {
+    let graph = mrng_like(700, 23);
+    let body = metis_bytes(&graph);
+    let dir = tempdir("corrupt-spill");
+
+    let (addr, handle, thread) = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let cold = post(&addr, "/partition?k=4", &body);
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    stop(&handle, thread);
+
+    // Flip bytes in the middle of every spill file.
+    for f in std::fs::read_dir(&dir).unwrap() {
+        let path = f.unwrap().path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, bytes).unwrap();
+    }
+
+    let (addr, handle, thread) = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let rebuilt = post(&addr, "/partition?k=4", &body);
+    assert_eq!(rebuilt.status, 200, "{}", rebuilt.text());
+    // Corruption is a clean miss (rebuild), never a panic or a bad reload.
+    assert_eq!(rebuilt.header("x-mcgp-cache"), Some("miss"));
+    assert_eq!(cold.body, rebuilt.body, "rebuild must match the original");
+
+    stop(&handle, thread);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_default_threads_apply_when_the_request_does_not_pin() {
+    let graph = synthetic::type1(&mrng_like(1000, 29), 2, 29);
+    let body = metis_bytes(&graph);
+    let (addr, handle, thread) = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        default_threads: 2,
+        ..ServeConfig::default()
+    });
+
+    // No threads= parameter: the daemon's default width (2) applies, so
+    // the response must match the library at nthreads=2 ...
+    let served = post(&addr, "/partition?k=4", &body);
+    assert_eq!(served.status, 200, "{}", served.text());
+    let (meta, parts, _) = parse_body(&served.text());
+    assert_eq!(meta.get("threads").unwrap().as_i64(), Some(2));
+    let lib = partition_kway(
+        &graph,
+        4,
+        &PartitionConfig {
+            nthreads: 2,
+            ..PartitionConfig::default()
+        },
+    );
+    assert_eq!(parts, lib.partition.assignment(), "served != library at t2");
+
+    // ... an explicit threads=1 still wins ...
+    let pinned = post(&addr, "/partition?k=4&threads=1", &body);
+    assert_eq!(pinned.status, 200, "{}", pinned.text());
+    let (meta1, parts1, _) = parse_body(&pinned.text());
+    assert_eq!(meta1.get("threads").unwrap().as_i64(), Some(1));
+    let lib1 = partition_kway(&graph, 4, &PartitionConfig::default());
+    assert_eq!(parts1, lib1.partition.assignment());
+
+    // ... and the threads metric proves the parallel pipeline served the
+    // defaulted request end to end.
+    let json = Json::parse(get(&addr, "/metrics").text().trim()).unwrap();
+    let by_threads = json.get("partition_threads").unwrap();
+    assert_eq!(by_threads.get("t2").unwrap().as_i64(), Some(1));
+    assert_eq!(by_threads.get("t1").unwrap().as_i64(), Some(1));
+
+    stop(&handle, thread);
 }

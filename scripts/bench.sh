@@ -64,6 +64,12 @@ if [ "$GATE" != "off" ]; then
         if [ "$f" = "$COARSEN_OUT" ]; then
             TW_ARGS="--threads-win coarsen/hierarchy/mrng200k,partition/full/mrng200k"
         fi
+        # The serve file carries the rps-win rule: small warm requests over
+        # one keep-alive connection must at least double the throughput of
+        # a fresh connection per request, within the fresh run itself.
+        if [ "$f" = "$SERVE_OUT" ]; then
+            TW_ARGS="--rps-win serve_warm_keepalive_rmat9/serve_warm_perconn_rmat9:2.0"
+        fi
         # shellcheck disable=SC2086
         if ./target/release/mcgp bench-gate "$base" "$f" \
             --tolerance "$GATE" $TW_ARGS > /dev/null; then

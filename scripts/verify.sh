@@ -55,6 +55,10 @@ cmp "$TRACE_DIR/prof_t4.part" "$TRACE_DIR/noprof_t4.part"
 # every median.
 ./target/release/mcgp bench-gate BENCH_coarsen.json BENCH_coarsen.json \
     --threads-win coarsen/hierarchy/mrng200k,partition/full/mrng200k > /dev/null
+# The committed serve baseline must hold the keep-alive throughput win:
+# one reused connection at least doubles per-connection request rate.
+./target/release/mcgp bench-gate BENCH_serve.json BENCH_serve.json \
+    --rps-win serve_warm_keepalive_rmat9/serve_warm_perconn_rmat9:2.0 > /dev/null
 sed 's/"median_s":/"median_s":9/' BENCH_coarsen.json > "$TRACE_DIR/regressed.json"
 if ./target/release/mcgp bench-gate BENCH_coarsen.json "$TRACE_DIR/regressed.json" \
     > /dev/null 2>&1; then
@@ -149,6 +153,12 @@ grep -v "^x-mcgp-trace-id\|^x-mcgp-total-us" "$TRACE_DIR/serve_rep_a.txt" \
 grep -v "^x-mcgp-trace-id\|^x-mcgp-total-us" "$TRACE_DIR/serve_rep_b.txt" \
     > "$TRACE_DIR/serve_rep_b.stable"
 cmp "$TRACE_DIR/serve_rep_a.stable" "$TRACE_DIR/serve_rep_b.stable"
+# Keep-alive: eight requests pipelined over ONE reused connection must
+# all be byte-identical. serve-request --repeat asserts the stability
+# itself and reports the connection count on stderr.
+./target/release/mcgp serve-request --addr "$SERVE_ADDR" gen:mrng:2000 8 \
+    --repeat 8 > /dev/null 2> "$TRACE_DIR/serve_repeat.log"
+grep -q "8 identical response(s) over 1 connection(s)" "$TRACE_DIR/serve_repeat.log"
 kill -TERM "$SERVE_PID"
 if ! wait "$SERVE_PID"; then
     echo "verify: mcgp serve did not drain cleanly on SIGTERM" >&2
@@ -156,5 +166,46 @@ if ! wait "$SERVE_PID"; then
     exit 1
 fi
 grep -q "drained and stopped" "$TRACE_DIR/serve.log"
+
+# Warm-restart smoke: a daemon with --cache-dir spills its hierarchies on
+# drain; a fresh daemon over the same directory must answer its FIRST
+# request from disk with zero coarsening work.
+wait_serve_port() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "verify: mcgp serve never wrote its port file" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+mkdir -p "$TRACE_DIR/serve_cache"
+rm -f "$TRACE_DIR/serve2.port"
+./target/release/mcgp serve --addr 127.0.0.1:0 --workers 2 \
+    --cache-dir "$TRACE_DIR/serve_cache" \
+    --port-file "$TRACE_DIR/serve2.port" 2> "$TRACE_DIR/serve2.log" &
+SERVE_PID=$!
+wait_serve_port "$TRACE_DIR/serve2.port" "$TRACE_DIR/serve2.log"
+./target/release/mcgp serve-request --addr "$(cat "$TRACE_DIR/serve2.port")" \
+    gen:mrng:2000 4 > "$TRACE_DIR/serve_spill_cold.txt"
+grep -q "^x-mcgp-cache: miss$" "$TRACE_DIR/serve_spill_cold.txt"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { cat "$TRACE_DIR/serve2.log" >&2; exit 1; }
+ls "$TRACE_DIR/serve_cache"/*.snap > /dev/null
+rm -f "$TRACE_DIR/serve3.port"
+./target/release/mcgp serve --addr 127.0.0.1:0 --workers 2 \
+    --cache-dir "$TRACE_DIR/serve_cache" \
+    --port-file "$TRACE_DIR/serve3.port" 2> "$TRACE_DIR/serve3.log" &
+SERVE_PID=$!
+wait_serve_port "$TRACE_DIR/serve3.port" "$TRACE_DIR/serve3.log"
+./target/release/mcgp serve-request --addr "$(cat "$TRACE_DIR/serve3.port")" \
+    gen:mrng:2000 4 > "$TRACE_DIR/serve_spill_warm.txt"
+grep -q "^x-mcgp-cache: disk$" "$TRACE_DIR/serve_spill_warm.txt"
+grep -q "^x-mcgp-coarsen-us: 0$" "$TRACE_DIR/serve_spill_warm.txt"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { cat "$TRACE_DIR/serve3.log" >&2; exit 1; }
 
 echo "verify: OK"
